@@ -1,0 +1,38 @@
+"""Ablation: live value cache size (paper §3.4 fixes 64KB without a
+design-space exploration; this bench provides one).
+
+A live-value-heavy kernel (hotspot carries ~10 values across its
+boundary diamonds) thrashes a small LVC — misses spill to the L2 —
+while beyond the working set extra capacity buys nothing.
+"""
+
+from repro.arch import VGIWConfig
+from repro.evalharness.tables import ExperimentTable
+from repro.kernels.registry import make_workload
+from repro.vgiw import VGIWCore
+
+
+def bench_ablation_lvc_size(benchmark):
+    table = ExperimentTable(
+        "Ablation", "LVC size sweep (hotspot, live-value heavy)",
+        ["LVC KB", "Cycles", "LVC miss rate", "L2 accesses"],
+    )
+
+    def run_sweep():
+        table.rows.clear()
+        out = {}
+        for kb_size in (4, 16, 64, 256):
+            w = make_workload("hotspot/hotspot_kernel", "small")
+            cfg = VGIWConfig(lvc_size_bytes=kb_size * 1024)
+            mem = w.memory.clone()
+            r = VGIWCore(cfg).run(w.kernel, mem, w.params, w.n_threads)
+            miss_rate = 1.0 - r.lvc_stats.hit_rate
+            table.add(kb_size, r.cycles, miss_rate, r.l2.accesses)
+            out[kb_size] = r.cycles
+        return out
+
+    cycles = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert cycles[4] > cycles[64], "a tiny LVC must thrash"
+    assert cycles[256] <= cycles[16], "capacity beyond the working set is flat"

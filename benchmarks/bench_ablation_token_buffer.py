@@ -1,0 +1,39 @@
+"""Ablation: token-buffer depth (virtual execution channels, paper §3.5).
+
+The token buffers bound the threads in flight per replica; they are what
+lets unblocked threads overtake memory-stalled ones (dynamic, tagged-
+token dataflow).  Sweeping the depth shows the latency-hiding knee.
+"""
+
+from repro.arch import VGIWConfig
+from repro.evalharness.tables import ExperimentTable
+from repro.kernels.registry import make_workload
+from repro.vgiw import VGIWCore
+
+
+def bench_ablation_token_buffer(benchmark):
+    table = ExperimentTable(
+        "Ablation", "Token buffer depth sweep (cfd/time_step, memory bound)",
+        ["Depth", "Cycles", "vs depth=512"],
+    )
+
+    def run_sweep():
+        table.rows.clear()
+        cycles = {}
+        for depth in (8, 64, 512):
+            w = make_workload("cfd/time_step", "tiny")
+            cfg = VGIWConfig(token_buffer_depth=depth)
+            mem = w.memory.clone()
+            r = VGIWCore(cfg).run(w.kernel, mem, w.params, w.n_threads)
+            cycles[depth] = r.cycles
+        for depth, c in cycles.items():
+            table.add(depth, c, cycles[512] / c)
+        return cycles
+
+    cycles = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    # Deeper token buffers must not hurt, and shallow ones must throttle
+    # the memory-bound kernel.
+    assert cycles[8] > cycles[512]
+    assert cycles[64] >= cycles[512]

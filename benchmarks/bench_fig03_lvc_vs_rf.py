@@ -1,0 +1,24 @@
+"""Paper Figure 3: LVC accesses as a fraction of GPGPU RF accesses.
+
+The paper's key enabler for control flow coalescing: because most
+intermediate values stay inside one basic block and travel through the
+fabric, the LVC is touched roughly 10x less often than a register file.
+"""
+
+from repro.evalharness.experiments import fig3_lvc_vs_rf
+from repro.evalharness.tables import arithmean
+
+
+def bench_fig3(benchmark, suite_runs):
+    table = benchmark(fig3_lvc_vs_rf, suite_runs)
+    print()
+    print(table.render())
+
+    ratios = [
+        row[3] for row in table.rows if row[0] not in ("MEAN",)
+    ]
+    mean = arithmean(ratios)
+    # Paper: LVC accessed on average almost 10x less often than the RF.
+    assert mean < 0.45, f"mean LVC/RF ratio {mean:.2f} is not << 1"
+    # Kernels without block-crossing values must not touch the LVC at all.
+    assert min(ratios) < 0.05

@@ -1,0 +1,26 @@
+"""Paper Figure 9: energy efficiency of a VGIW core over a Fermi SM.
+
+Paper result: 0.7x to 7x, average 1.75x, with a strong correlation
+between a kernel's compute intensity and its efficiency benefit.
+"""
+
+from repro.evalharness.experiments import fig9_energy_vs_fermi
+from repro.evalharness.tables import geomean
+
+
+def bench_fig9(benchmark, suite_runs):
+    table = benchmark(fig9_energy_vs_fermi, suite_runs)
+    print()
+    print(table.render())
+
+    effs = {
+        row[0]: row[3]
+        for row in table.rows
+        if row[0] not in ("GEOMEAN", "ARITHMEAN")
+    }
+    gm = geomean(effs.values())
+    assert gm > 0.9, f"geomean efficiency {gm:.2f}: VGIW must not lose energy"
+    assert max(effs.values()) > 1.3
+    # Efficiency should correlate with the performance results: the
+    # streaming kernel cannot be an efficiency star.
+    assert effs["cfd/time_step"] < sorted(effs.values())[-3]

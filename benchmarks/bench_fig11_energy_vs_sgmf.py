@@ -1,0 +1,25 @@
+"""Paper Figure 11: energy efficiency of VGIW over SGMF (mappable subset).
+
+Paper result: average 1.33x, varying by kernel; SGMF is better on small
+low-divergence kernels (passing live values through the LVC costs more
+than keeping them in the fabric), VGIW wins on divergent kernels where
+SGMF burns energy pumping predicated-off tokens.
+"""
+
+from repro.evalharness.experiments import fig11_energy_vs_sgmf
+
+
+def bench_fig11(benchmark, suite_runs):
+    table = benchmark(fig11_energy_vs_sgmf, suite_runs)
+    print()
+    print(table.render())
+
+    effs = {
+        row[0]: row[3]
+        for row in table.rows
+        if row[0] not in ("GEOMEAN", "ARITHMEAN")
+    }
+    assert len(effs) >= 8
+    # Both directions exist, as in the paper's figure.
+    assert min(effs.values()) < 1.0, "SGMF must win some small kernel"
+    assert max(effs.values()) > 1.1, "VGIW must win some divergent kernel"

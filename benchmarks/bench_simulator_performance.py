@@ -1,0 +1,41 @@
+"""Library performance: simulator throughput on the Figure 1a kernel.
+
+Not a paper experiment — this measures the Python simulators themselves
+(node-fires per second for the dataflow cores, warp-instructions per
+second for the SIMT core) so regressions in the simulation engines are
+caught.
+"""
+
+from repro.kernels import make_fig1_workload
+from repro.sgmf import SGMFCore
+from repro.simt import FermiSM
+from repro.vgiw import VGIWCore
+
+N_THREADS = 512
+
+
+def bench_vgiw_simulator(benchmark):
+    def run():
+        kernel, mem, params = make_fig1_workload(n_threads=N_THREADS)
+        return VGIWCore().run(kernel, mem, params, N_THREADS)
+
+    result = benchmark(run)
+    assert result.n_threads == N_THREADS
+
+
+def bench_fermi_simulator(benchmark):
+    def run():
+        kernel, mem, params = make_fig1_workload(n_threads=N_THREADS)
+        return FermiSM().run(kernel, mem, params, N_THREADS)
+
+    result = benchmark(run)
+    assert result.sm.warps_launched == N_THREADS // 32
+
+
+def bench_sgmf_simulator(benchmark):
+    def run():
+        kernel, mem, params = make_fig1_workload(n_threads=N_THREADS)
+        return SGMFCore().run(kernel, mem, params, N_THREADS)
+
+    result = benchmark(run)
+    assert result.n_threads == N_THREADS

@@ -1,0 +1,31 @@
+"""Paper Table 1: VGIW system configuration.
+
+Regenerates the configuration table from the architecture dataclasses —
+the values are the model's single source of truth, so this bench fails
+if the implementation drifts from the paper's configuration.
+"""
+
+from repro.arch import FabricSpec, UnitKind, VGIWConfig
+from repro.evalharness.experiments import table1_configuration
+
+
+def bench_table1(benchmark):
+    table = benchmark(table1_configuration)
+    print()
+    print(table.render())
+
+    spec = FabricSpec()
+    assert spec.total_units == 108
+    assert spec.counts[UnitKind.COMPUTE] == 32
+    assert spec.counts[UnitKind.SPECIAL] == 12
+    assert spec.counts[UnitKind.LDST] == 16
+    assert spec.counts[UnitKind.LVU] == 16
+    assert spec.counts[UnitKind.SJU] == 16
+    assert spec.counts[UnitKind.CVU] == 16
+    assert spec.config_cycles == 34  # paper section 3.2
+    cfg = VGIWConfig()
+    assert cfg.lvc_size_bytes == 64 * 1024
+    assert cfg.memory.l1_size_bytes == 64 * 1024
+    assert cfg.memory.l1_banks == 32
+    assert cfg.memory.l2_banks == 6
+    assert cfg.memory.dram_channels == 6

@@ -1,0 +1,81 @@
+"""Full Needleman-Wunsch alignment on the VGIW core.
+
+Runs the two NW kernels over every anti-diagonal of the score matrix —
+the upper-left triangle with ``needle_cuda_shared_1`` and the lower-right
+with ``needle_cuda_shared_2`` — exactly like the Rodinia host loop, and
+checks the filled matrix against the dynamic-programming reference.
+
+The wavefront pattern is the worst case for a machine that pays a fixed
+cost per scheduled block: early/late diagonals have very few threads, so
+this example also prints how the per-launch cycle cost tracks the
+diagonal length (the amortisation argument of DESIGN.md section 5).
+
+Run:  python examples/nw_alignment.py
+"""
+
+import numpy as np
+
+from repro.kernels.nw import (
+    PENALTY,
+    needle1_kernel,
+    needle2_kernel,
+    nw_reference_full,
+)
+from repro.memory import MemoryImage
+from repro.vgiw import VGIWCore
+
+
+def main():
+    size = 48  # playable square; cols = size + 1 with the boundary
+    cols = size + 1
+    rng = np.random.default_rng(9)
+    ref = rng.integers(-10, 11, (cols, cols)).astype(float)
+    score = np.zeros((cols, cols))
+    score[0, :] = -PENALTY * np.arange(cols)
+    score[:, 0] = -PENALTY * np.arange(cols)
+
+    mem = MemoryImage(2 * cols * cols + 64)
+    b_score = mem.alloc_array("score", score.ravel())
+    b_ref = mem.alloc_array("ref", ref.ravel())
+
+    core = VGIWCore()
+    k1, k2 = needle1_kernel(), needle2_kernel()
+    total = 0.0
+    lengths, costs = [], []
+
+    # Upper-left triangle: diagonals 0 .. cols-2.
+    for d in range(cols - 1):
+        length = min(d + 1, cols - 1)
+        params = {"score": b_score, "ref": b_ref, "cols": cols, "d": d,
+                  "len": length}
+        r = core.run(k1, mem, params, length)
+        total += r.cycles
+        lengths.append(length)
+        costs.append(r.cycles)
+
+    # Lower-right triangle: diagonals 1 .. cols-2.
+    for d in range(1, cols - 1):
+        length = cols - 1 - d
+        params = {"score": b_score, "ref": b_ref, "cols": cols, "d": d,
+                  "len": length}
+        r = core.run(k2, mem, params, length)
+        total += r.cycles
+
+    got = mem.read_region("score").reshape(cols, cols)
+    want = nw_reference_full(ref, PENALTY)
+    np.testing.assert_array_equal(got, want)
+    print(f"aligned a {size}x{size} matrix in {total:.0f} VGIW cycles "
+          f"({2 * (cols - 1) - 1} kernel launches)")
+    print("score matrix matches the DP reference exactly\n")
+
+    print("amortisation of the per-launch cost (upper triangle):")
+    print(f"{'diag len':>9s} {'cycles':>8s} {'cycles/cell':>12s}")
+    for length, cost in zip(lengths[::8], costs[::8]):
+        print(f"{length:9d} {cost:8.0f} {cost / length:12.1f}")
+    print("\nshort diagonals pay the fixed reconfiguration + drain cost; "
+          "long ones amortise it —\nthe same scaling argument the paper "
+          "makes for thread tiles (section 3.2).")
+
+
+if __name__ == "__main__":
+    main()

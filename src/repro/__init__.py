@@ -1,0 +1,43 @@
+"""repro — reproduction of the VGIW hybrid dataflow/von Neumann GPGPU.
+
+This package implements the system described in:
+
+    Dani Voitsechov and Yoav Etsion,
+    "Control Flow Coalescing on a Hybrid Dataflow/von Neumann GPGPU",
+    MICRO-48, 2015.
+
+It provides, as a pure-Python simulation library:
+
+* a CUDA-like virtual kernel ISA and builder DSL (:mod:`repro.ir`),
+* a compiler that turns kernels into per-basic-block dataflow graphs,
+  places and routes them on an MT-CGRF grid, and allocates live-value
+  IDs (:mod:`repro.compiler`),
+* the VGIW processor — basic block scheduler, control vector table,
+  live value cache, and MT-CGRF execution core (:mod:`repro.vgiw`),
+* a Fermi-class SIMT GPGPU baseline (:mod:`repro.simt`),
+* the SGMF dataflow GPGPU baseline (:mod:`repro.sgmf`),
+* a GPU memory hierarchy — banked L1, L2, GDDR5-style DRAM
+  (:mod:`repro.memory`),
+* a GPUWattch-style energy model (:mod:`repro.power`),
+* Rodinia-like benchmark kernels (:mod:`repro.kernels`), and
+* the evaluation harness that regenerates every table and figure of the
+  paper (:mod:`repro.evalharness`).
+
+Quickstart::
+
+    from repro.ir import KernelBuilder, DType
+
+    kb = KernelBuilder("saxpy", params=["a", "x", "y", "out", "n"])
+    i = kb.tid()
+    with kb.if_(i < kb.param("n")):
+        xv = kb.load(kb.param("x") + i, DType.FLOAT)
+        yv = kb.load(kb.param("y") + i, DType.FLOAT)
+        kb.store(kb.param("out") + i, kb.fparam("a") * xv + yv)
+    kernel = kb.build()
+"""
+
+__version__ = "0.1.0"
+
+from repro.ir import DType, Kernel, KernelBuilder
+
+__all__ = ["DType", "Kernel", "KernelBuilder", "__version__"]

@@ -1,0 +1,23 @@
+"""Architecture configuration (paper Table 1)."""
+
+from repro.arch.config import (
+    DEFAULT_OP_LATENCY,
+    FabricSpec,
+    FermiConfig,
+    MemoryConfig,
+    SGMFConfig,
+    UnitKind,
+    VGIWConfig,
+    op_latency_for,
+)
+
+__all__ = [
+    "DEFAULT_OP_LATENCY",
+    "FabricSpec",
+    "FermiConfig",
+    "MemoryConfig",
+    "SGMFConfig",
+    "UnitKind",
+    "VGIWConfig",
+    "op_latency_for",
+]

@@ -1,0 +1,193 @@
+"""Control-flow-graph analyses.
+
+These serve three consumers:
+
+* the block scheduler (:mod:`repro.compiler.schedule`) needs a reverse
+  post-order so that back edges target smaller block IDs (paper §3.1);
+* the Fermi baseline needs immediate post-dominators for its SIMT
+  reconvergence stack;
+* the SGMF model and the replication heuristics need natural-loop
+  membership.
+
+All algorithms are the classic iterative dataflow formulations
+(Cooper-Harvey-Kennedy style); kernels have tens of blocks, so
+simplicity beats asymptotic cleverness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.kernel import Kernel
+
+
+def reverse_post_order(kernel: Kernel) -> List[str]:
+    """Reverse post-order of the CFG from the entry block.
+
+    Successors are visited false-edge-first so that the fall-through
+    (false) path tends to get the next consecutive ID, which matches how
+    a compiler lays out code and keeps loop bodies contiguous.
+    """
+    visited: Set[str] = set()
+    post: List[str] = []
+
+    def visit(name: str) -> None:
+        stack = [(name, iter(reversed(kernel.blocks[name].successors())))]
+        visited.add(name)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append(
+                        (succ, iter(reversed(kernel.blocks[succ].successors())))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(node)
+                stack.pop()
+
+    visit(kernel.entry)
+    return list(reversed(post))
+
+
+def _idom_fixpoint(
+    order: List[str],
+    preds: Dict[str, List[str]],
+    root: str,
+) -> Dict[str, Optional[str]]:
+    """Iterative immediate-dominator computation over ``order``."""
+    index = {name: i for i, name in enumerate(order)}
+    idom: Dict[str, Optional[str]] = {name: None for name in order}
+    idom[root] = root
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in order[1:]:
+            candidates = [p for p in preds.get(name, []) if idom.get(p) is not None]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for p in candidates[1:]:
+                new = intersect(new, p)
+            if idom[name] != new:
+                idom[name] = new
+                changed = True
+    idom[root] = None
+    return idom
+
+
+def immediate_dominators(kernel: Kernel) -> Dict[str, Optional[str]]:
+    """Immediate dominator of each block (entry maps to ``None``)."""
+    order = reverse_post_order(kernel)
+    preds = {n: [p for p in ps if p in set(order)] for n, ps in kernel.predecessors().items()}
+    return _idom_fixpoint(order, preds, kernel.entry)
+
+
+def immediate_post_dominators(kernel: Kernel) -> Dict[str, Optional[str]]:
+    """Immediate post-dominator of each block.
+
+    Computed as dominators of the reverse CFG rooted at a virtual exit
+    that all RET blocks feed.  Blocks whose only path to exit is through
+    themselves map to the virtual exit, reported as ``None`` — the SIMT
+    stack treats ``None`` as "reconverge at kernel exit".
+    """
+    virtual_exit = "<exit>"
+    # Reverse CFG: successors become predecessors.
+    rpreds: Dict[str, List[str]] = {name: [] for name in kernel.blocks}
+    rpreds[virtual_exit] = []
+    rsuccs: Dict[str, List[str]] = {virtual_exit: []}
+    for name, block in kernel.blocks.items():
+        succs = list(block.successors()) or [virtual_exit]
+        rsuccs[name] = []
+    for name, block in kernel.blocks.items():
+        succs = list(block.successors()) or [virtual_exit]
+        for s in succs:
+            rsuccs[s].append(name)  # reversed edge s -> name
+            rpreds[name].append(s)
+
+    # Post-order of reverse CFG from the virtual exit.
+    visited: Set[str] = set()
+    post: List[str] = []
+
+    def visit(node: str) -> None:
+        visited.add(node)
+        for nxt in rsuccs[node]:
+            if nxt not in visited:
+                visit(nxt)
+        post.append(node)
+
+    visit(virtual_exit)
+    order = list(reversed(post))
+    ipdom = _idom_fixpoint(order, rpreds, virtual_exit)
+    return {
+        name: (None if ipdom.get(name) in (virtual_exit, None) else ipdom[name])
+        for name in kernel.blocks
+    }
+
+
+def dominates(idom: Dict[str, Optional[str]], a: str, b: str) -> bool:
+    """True if ``a`` dominates ``b`` under the immediate-dominator map."""
+    node: Optional[str] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom[node]
+    return False
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the set of member blocks."""
+
+    header: str
+    body: Set[str] = field(default_factory=set)  # includes the header
+    back_edges: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def natural_loops(kernel: Kernel) -> Dict[str, Loop]:
+    """Natural loops keyed by header block name.
+
+    A back edge is an edge ``t -> h`` where ``h`` dominates ``t``; the
+    loop body is every block that can reach ``t`` without passing
+    through ``h``.  Loops sharing a header are merged.
+    """
+    idom = immediate_dominators(kernel)
+    preds = kernel.predecessors()
+    loops: Dict[str, Loop] = {}
+    for name, block in kernel.blocks.items():
+        for succ in block.successors():
+            if dominates(idom, succ, name):
+                loop = loops.setdefault(succ, Loop(succ, {succ}))
+                loop.back_edges.append((name, succ))
+                # Walk backwards from the latch, stopping at the header.
+                stack = [name]
+                while stack:
+                    node = stack.pop()
+                    if node in loop.body:
+                        continue
+                    loop.body.add(node)
+                    stack.extend(p for p in preds[node] if p not in loop.body)
+    return loops
+
+
+def loop_depth(kernel: Kernel) -> Dict[str, int]:
+    """Nesting depth of each block (0 = not in any loop)."""
+    loops = natural_loops(kernel)
+    depth = {name: 0 for name in kernel.blocks}
+    for loop in loops.values():
+        for member in loop.body:
+            depth[member] += 1
+    return depth

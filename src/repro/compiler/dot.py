@@ -1,0 +1,93 @@
+"""Graphviz (DOT) export for kernels and dataflow graphs.
+
+Debugging and documentation aid: render a kernel's CFG, a basic block's
+dataflow graph (with unit assignments), or the fabric occupancy of a
+placed configuration.  Output is plain DOT text — feed it to ``dot -Tsvg``
+or any Graphviz viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.compiler.dfg import BlockDFG, NodeKind
+from repro.compiler.placement import Fabric, PlacedReplica
+from repro.ir.kernel import Kernel
+
+_KIND_STYLE: Dict[NodeKind, str] = {
+    NodeKind.INIT: 'shape=invhouse, style=filled, fillcolor="#cde7ff"',
+    NodeKind.TERM: 'shape=house, style=filled, fillcolor="#cde7ff"',
+    NodeKind.OP: "shape=ellipse",
+    NodeKind.LOAD: 'shape=box, style=filled, fillcolor="#ffe3c0"',
+    NodeKind.STORE: 'shape=box, style=filled, fillcolor="#ffd0a0"',
+    NodeKind.LVLOAD: 'shape=box, style=filled, fillcolor="#d8f5d0"',
+    NodeKind.LVSTORE: 'shape=box, style=filled, fillcolor="#c0eeb5"',
+    NodeKind.SPLIT: "shape=triangle",
+    NodeKind.JOIN: "shape=invtriangle",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def cfg_to_dot(kernel: Kernel, block_ids: Optional[Dict[str, int]] = None
+               ) -> str:
+    """The kernel's control flow graph as DOT."""
+    lines = [f'digraph "{_escape(kernel.name)}" {{', "  node [shape=box];"]
+    for name, block in kernel.blocks.items():
+        bid = f" (id {block_ids[name]})" if block_ids and name in block_ids else ""
+        label = f"{name}{bid}\\n{len(block.instrs)} instrs"
+        shape = ', style=filled, fillcolor="#e8e8ff"' if name == kernel.entry else ""
+        lines.append(f'  "{_escape(name)}" [label="{_escape(label)}"{shape}];')
+    for name, block in kernel.blocks.items():
+        targets = block.successors()
+        if len(targets) == 2:
+            lines.append(f'  "{_escape(name)}" -> "{_escape(targets[0])}" '
+                         f'[label="T", color=darkgreen];')
+            lines.append(f'  "{_escape(name)}" -> "{_escape(targets[1])}" '
+                         f'[label="F", color=firebrick];')
+        else:
+            for t in targets:
+                lines.append(f'  "{_escape(name)}" -> "{_escape(t)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfg_to_dot(dfg: BlockDFG, placed: Optional[PlacedReplica] = None) -> str:
+    """One block's dataflow graph as DOT (optionally with unit IDs)."""
+    lines = [f'digraph "{_escape(dfg.block_name)}" {{', "  rankdir=TB;"]
+    for node in dfg.nodes:
+        style = _KIND_STYLE.get(node.kind, "shape=ellipse")
+        label = node.kind.value if node.op is None else node.op.value
+        if node.out_reg:
+            label += f"\\n%{node.out_reg}"
+        if node.lv_id is not None:
+            label += f"\\nlv{node.lv_id}"
+        if placed is not None and node.nid in placed.unit_of:
+            label += f"\\nu{placed.unit_of[node.nid]}"
+        lines.append(f'  n{node.nid} [label="{_escape(label)}", {style}];')
+    for node in dfg.nodes:
+        for src in node.srcs:
+            if hasattr(src, "node"):
+                lines.append(f"  n{src.node} -> n{node.nid};")
+        for up in node.ctrl:
+            lines.append(f"  n{up} -> n{node.nid} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fabric_to_dot(fabric: Fabric,
+                  placed: Optional[PlacedReplica] = None) -> str:
+    """The physical grid as a DOT layout; occupied units are filled."""
+    occupied = set(placed.unit_of.values()) if placed else set()
+    lines = ['graph "fabric" {', "  node [shape=square, fixedsize=true];"]
+    for unit in fabric.units:
+        fill = ', style=filled, fillcolor="#ffd27f"' if unit.uid in occupied \
+            else ""
+        lines.append(
+            f'  u{unit.uid} [label="{unit.kind.value[:4]}\\n{unit.uid}", '
+            f'pos="{unit.x},{-unit.y}!"{fill}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

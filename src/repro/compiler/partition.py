@@ -1,0 +1,69 @@
+"""Oversized-basic-block splitting.
+
+Unlike SGMF, which simply cannot run kernels whose CDFG exceeds the
+fabric, VGIW executes blocks one at a time — but a *single basic block*
+whose dataflow graph needs more units of some kind than the fabric has
+still cannot be configured.  The compiler handles this by splitting such
+a block into a chain of sequential sub-blocks connected by unconditional
+jumps; the values crossing the split automatically become live values on
+the next liveness pass.  This is what lets VGIW "execute kernels of any
+size" (paper §5).
+
+The split point is chosen by instruction count (halving), and the
+driver in :mod:`repro.compiler.pipeline` re-checks capacity after each
+round, so pathological blocks converge in ``O(log n)`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.block import BasicBlock
+from repro.ir.instr import Terminator
+from repro.ir.kernel import Kernel
+
+
+class PartitionError(Exception):
+    """A block cannot be split any further yet still exceeds capacity."""
+
+
+def split_block(kernel: Kernel, name: str) -> Kernel:
+    """Split block ``name`` into two sequential halves.
+
+    Returns a new kernel; the original is left untouched.  The first
+    half keeps the block's name (so CFG edges into it stay valid) and
+    jumps to the second half, which inherits the original terminator.
+    """
+    block = kernel.blocks[name]
+    if len(block.instrs) < 2:
+        raise PartitionError(
+            f"block {name!r} has {len(block.instrs)} instruction(s) and "
+            "cannot be split further, but its dataflow graph exceeds the "
+            "fabric capacity"
+        )
+    cut = len(block.instrs) // 2
+    tail_name = _fresh_name(kernel, name)
+    head = BasicBlock(name, block.instrs[:cut], Terminator.jmp(tail_name))
+    tail = BasicBlock(tail_name, block.instrs[cut:], block.terminator)
+
+    blocks: Dict[str, BasicBlock] = {}
+    for bname, b in kernel.blocks.items():
+        if bname == name:
+            blocks[name] = head
+            blocks[tail_name] = tail
+        else:
+            blocks[bname] = b
+    return Kernel(
+        name=kernel.name,
+        params=list(kernel.params),
+        blocks=blocks,
+        entry=kernel.entry,
+        param_dtypes=dict(kernel.param_dtypes),
+    )
+
+
+def _fresh_name(kernel: Kernel, base: str) -> str:
+    i = 1
+    while f"{base}.split{i}" in kernel.blocks:
+        i += 1
+    return f"{base}.split{i}"

@@ -1,0 +1,273 @@
+"""MT-CGRF grid model and per-block place & route.
+
+The fabric is a ``width x height`` grid of functional units.  LDST and
+LVU units sit on the grid perimeter (they connect to the banked L1/LVC
+through a crossbar, paper §3.5); compute, special, split/join, and the
+remaining control vector units fill the interior.
+
+The interconnect is the paper's folded-hypercube-flavoured switch
+topology: every unit reaches its four nearest units and four nearest
+switches, and switches additionally shortcut Manhattan distance two.
+We model its latency as ``ceil(manhattan / 2)`` hops, one cycle per hop
+(hop latency of one cycle is an explicit design requirement, §3.5).
+
+Placement is greedy-by-topological-order with a cheapest-unit choice,
+followed by a local-improvement (pairwise swap) pass.  Multiple replicas
+of a block graph are placed one after another on the remaining free
+units (paper §3.1: the compiler includes multiple replicas of small
+blocks in one configuration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.config import FabricSpec, UnitKind
+from repro.compiler.dfg import BlockDFG, DFGNode
+
+
+class CapacityError(Exception):
+    """A dataflow graph does not fit the fabric."""
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One physical functional unit at a fixed grid position."""
+
+    uid: int
+    kind: UnitKind
+    x: int
+    y: int
+
+
+def _interleave(kind_counts: Sequence[Tuple[UnitKind, int]]) -> List[UnitKind]:
+    """Evenly interleave kinds (fractional-position sort) so that the
+    interior of the grid mixes unit kinds instead of clustering them."""
+    placed: List[Tuple[float, int, UnitKind]] = []
+    for order, (kind, count) in enumerate(kind_counts):
+        for i in range(count):
+            placed.append(((i + 0.5) / count, order, kind))
+    placed.sort()
+    return [kind for _, _, kind in placed]
+
+
+class Fabric:
+    """The physical grid: units, positions, and hop distances."""
+
+    def __init__(self, spec: FabricSpec):
+        self.spec = spec
+        self.units: List[Unit] = []
+        self._build(spec)
+        self.by_kind: Dict[UnitKind, List[int]] = {k: [] for k in UnitKind}
+        for u in self.units:
+            self.by_kind[u.kind].append(u.uid)
+
+    def _build(self, spec: FabricSpec) -> None:
+        w, h = spec.width, spec.height
+        cells = [(x, y) for y in range(h) for x in range(w)]
+        perimeter = [
+            (x, y) for (x, y) in cells if x in (0, w - 1) or y in (0, h - 1)
+        ]
+        interior = [c for c in cells if c not in perimeter]
+
+        counts = dict(spec.counts)
+        n_ldst = counts.get(UnitKind.LDST, 0)
+        n_lvu = counts.get(UnitKind.LVU, 0)
+        if n_ldst + n_lvu > len(perimeter):
+            raise CapacityError(
+                "perimeter too small for the LDST + LVU units"
+            )
+        # Ring order keeps memory units spread around the edge.
+        ring = self._ring_order(perimeter, w, h)
+        peri_kinds: List[Optional[UnitKind]] = [None] * len(ring)
+        mem_kinds = _interleave([(UnitKind.LDST, n_ldst), (UnitKind.LVU, n_lvu)])
+        step = len(ring) / max(1, len(mem_kinds))
+        used = set()
+        for i, kind in enumerate(mem_kinds):
+            slot = int(i * step)
+            while slot in used:
+                slot = (slot + 1) % len(ring)
+            used.add(slot)
+            peri_kinds[slot] = kind
+        leftover_peri = [i for i in range(len(ring)) if peri_kinds[i] is None]
+
+        # CVUs take the leftover perimeter slots first, the rest go inside.
+        n_cvu = counts.get(UnitKind.CVU, 0)
+        cvu_on_peri = min(n_cvu, len(leftover_peri))
+        for i in leftover_peri[:cvu_on_peri]:
+            peri_kinds[i] = UnitKind.CVU
+
+        # Any perimeter cells still unassigned take interior kinds; the
+        # "inner" pool is the interior plus those spill-over cells.
+        spare_peri = [ring[i] for i in leftover_peri[cvu_on_peri:]]
+        inner_cells = interior + spare_peri
+        interior_counts = [
+            (UnitKind.COMPUTE, counts.get(UnitKind.COMPUTE, 0)),
+            (UnitKind.SPECIAL, counts.get(UnitKind.SPECIAL, 0)),
+            (UnitKind.SJU, counts.get(UnitKind.SJU, 0)),
+            (UnitKind.CVU, n_cvu - cvu_on_peri),
+        ]
+        interior_kinds = _interleave([(k, c) for k, c in interior_counts if c > 0])
+        if len(interior_kinds) != len(inner_cells):
+            raise CapacityError(
+                f"grid has {len(inner_cells)} non-memory cells, "
+                f"composition supplies {len(interior_kinds)}"
+            )
+
+        uid = 0
+        for (x, y), kind in zip(ring, peri_kinds):
+            if kind is None:
+                continue
+            self.units.append(Unit(uid, kind, x, y))
+            uid += 1
+        for (x, y), kind in zip(inner_cells, interior_kinds):
+            self.units.append(Unit(uid, kind, x, y))
+            uid += 1
+
+    @staticmethod
+    def _ring_order(perimeter, w, h):
+        def key(cell):
+            x, y = cell
+            if y == 0:
+                return (0, x)
+            if x == w - 1:
+                return (1, y)
+            if y == h - 1:
+                return (2, w - 1 - x)
+            return (3, h - 1 - y)
+
+        return sorted(perimeter, key=key)
+
+    def hops(self, a: int, b: int) -> int:
+        """Interconnect latency in cycles between two units."""
+        if a == b:
+            return 1
+        ua, ub = self.units[a], self.units[b]
+        manhattan = abs(ua.x - ub.x) + abs(ua.y - ub.y)
+        return max(1, math.ceil(manhattan / 2))
+
+
+@dataclass
+class PlacedReplica:
+    """Placement of one replica: DFG node ID -> physical unit ID, plus
+    precomputed per-edge hop latencies."""
+
+    unit_of: Dict[int, int]
+    #: (src_nid, dst_nid) -> hop cycles
+    edge_hops: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+@dataclass
+class PlacedBlock:
+    """All replicas of a block placed on the fabric for one configuration."""
+
+    dfg: BlockDFG
+    replicas: List[PlacedReplica]
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def total_wire_cost(self) -> int:
+        return sum(
+            h for r in self.replicas for h in r.edge_hops.values()
+        )
+
+
+def max_replicas(dfg: BlockDFG, spec: FabricSpec, cap: int = 8) -> int:
+    """How many replicas of ``dfg`` fit the fabric (0 = none)."""
+    demand = dfg.unit_demand()
+    fit = cap
+    for kind, need in demand.items():
+        if need == 0:
+            continue
+        fit = min(fit, spec.counts.get(kind, 0) // need)
+    return fit
+
+
+def place_block(
+    dfg: BlockDFG,
+    fabric: Fabric,
+    n_replicas: int,
+    improve_passes: int = 1,
+) -> PlacedBlock:
+    """Place ``n_replicas`` copies of ``dfg`` onto the fabric."""
+    if n_replicas < 1:
+        raise CapacityError(
+            f"block {dfg.block_name} needs units beyond fabric capacity: "
+            f"{ {k.value: v for k, v in dfg.unit_demand().items() if v} }"
+        )
+    free: Dict[UnitKind, List[int]] = {
+        k: list(v) for k, v in fabric.by_kind.items()
+    }
+    replicas = [
+        _place_one(dfg, fabric, free, improve_passes) for _ in range(n_replicas)
+    ]
+    return PlacedBlock(dfg=dfg, replicas=replicas)
+
+
+def _place_one(
+    dfg: BlockDFG,
+    fabric: Fabric,
+    free: Dict[UnitKind, List[int]],
+    improve_passes: int,
+) -> PlacedReplica:
+    unit_of: Dict[int, int] = {}
+    order = dfg.topo_order()
+    consumers = dfg.consumers()
+
+    def cost_of(nid: int, uid: int) -> int:
+        node = dfg.node(nid)
+        total = 0
+        for up in node.input_nodes():
+            if up in unit_of:
+                total += fabric.hops(unit_of[up], uid)
+        for down in consumers[nid]:
+            if down in unit_of:
+                total += fabric.hops(uid, unit_of[down])
+        return total
+
+    for nid in order:
+        node = dfg.node(nid)
+        if node.pseudo:
+            continue  # wires occupy no physical unit
+        kind = node.unit_kind
+        pool = free[kind]
+        if not pool:
+            raise CapacityError(
+                f"no free {kind.value} unit for node {nid} of block "
+                f"{dfg.block_name}"
+            )
+        best = min(pool, key=lambda uid: (cost_of(nid, uid), uid))
+        pool.remove(best)
+        unit_of[nid] = best
+
+    # Local improvement: swap same-kind placements when it shortens wires.
+    for _ in range(improve_passes):
+        improved = False
+        nids = list(unit_of)
+        for i, a in enumerate(nids):
+            for b in nids[i + 1:]:
+                if dfg.node(a).unit_kind is not dfg.node(b).unit_kind:
+                    continue
+                before = cost_of(a, unit_of[a]) + cost_of(b, unit_of[b])
+                unit_of[a], unit_of[b] = unit_of[b], unit_of[a]
+                after = cost_of(a, unit_of[a]) + cost_of(b, unit_of[b])
+                if after >= before:
+                    unit_of[a], unit_of[b] = unit_of[b], unit_of[a]
+                else:
+                    improved = True
+        if not improved:
+            break
+
+    edge_hops: Dict[Tuple[int, int], int] = {}
+    for node in dfg.nodes:
+        for up in node.input_nodes():
+            if up in unit_of and node.nid in unit_of:
+                hops = fabric.hops(unit_of[up], unit_of[node.nid])
+            else:
+                hops = 1  # edges to/from pseudo wires cost one switch hop
+            edge_hops[(up, node.nid)] = hops
+    return PlacedReplica(unit_of=unit_of, edge_hops=edge_hops)

@@ -1,0 +1,43 @@
+"""Static basic-block scheduling: block-ID assignment.
+
+The compiler determines the scheduling of basic blocks and assigns each
+a unique block ID in schedule order (paper §3.1).  The runtime BBS then
+simply selects the smallest block ID whose thread vector is non-empty.
+The entry block gets the reserved ID 0, and loops manifest as branches
+to *smaller* IDs (back edges), which is exactly what a reverse
+post-order numbering of a reducible CFG produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.compiler.cfganalysis import reverse_post_order
+from repro.ir.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """Bidirectional block-name/block-ID mapping in schedule order."""
+
+    order: List[str]          # index = block ID
+    ids: Dict[str, int]       # block name -> ID
+
+    def id_of(self, name: str) -> int:
+        return self.ids[name]
+
+    def name_of(self, block_id: int) -> str:
+        return self.order[block_id]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.order)
+
+
+def schedule_blocks(kernel: Kernel) -> BlockSchedule:
+    """Assign block IDs by reverse post-order; entry gets ID 0."""
+    order = reverse_post_order(kernel)
+    if order[0] != kernel.entry:
+        raise AssertionError("entry block must schedule first")
+    return BlockSchedule(order=order, ids={n: i for i, n in enumerate(order)})

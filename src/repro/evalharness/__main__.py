@@ -1,0 +1,66 @@
+"""CLI: regenerate every table/figure of the paper.
+
+Usage::
+
+    python -m repro.evalharness [--scale tiny|small|medium]
+                                [--kernels name,name,...]
+                                [--out FILE] [--json FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evalharness.report import generate_report
+from repro.evalharness.runner import run_suite
+from repro.evalharness.serialize import runs_to_json
+from repro.kernels.registry import all_names
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.evalharness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--kernels", default=None,
+                        help="comma-separated registry names "
+                             "(default: the full Table 2 suite)")
+    parser.add_argument("--out", default=None,
+                        help="write the markdown report to this file")
+    parser.add_argument("--json", default=None,
+                        help="also archive raw results as JSON")
+    args = parser.parse_args(argv)
+
+    names = None
+    if args.kernels:
+        names = [n.strip() for n in args.kernels.split(",") if n.strip()]
+        known = set(all_names(include_extras=True))
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            parser.error(f"unknown kernels: {unknown}")
+
+    t0 = time.time()
+    runs = run_suite(names, scale=args.scale)
+    report = generate_report(runs, scale=args.scale)
+    elapsed = time.time() - t0
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(runs_to_json(runs))
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.out} ({elapsed:.0f}s)")
+    else:
+        print(report)
+        print(f"# generated in {elapsed:.0f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

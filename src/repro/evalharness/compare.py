@@ -1,0 +1,71 @@
+"""Calibration diffing: compare two archived suite runs.
+
+The workflow this supports is the one used to calibrate this repository:
+archive a suite run (`runs_to_json`), change a model parameter, re-run,
+and diff — per-kernel speedup/energy deltas plus the biggest movers.
+
+    from repro.evalharness import run_suite, runs_to_dict
+    from repro.evalharness.compare import compare_runs
+
+    before = runs_to_dict(run_suite(scale="tiny"))
+    # ... tweak a latency ...
+    after = runs_to_dict(run_suite(scale="tiny"))
+    print(compare_runs(before, after).render())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.evalharness.tables import ExperimentTable, geomean
+
+
+def _ratio(after: Optional[float], before: Optional[float]) -> Optional[float]:
+    if not before or after is None:
+        return None
+    return after / before
+
+
+def compare_runs(before: Dict, after: Dict,
+                 metric: str = "speedup_vs_fermi") -> ExperimentTable:
+    """Per-kernel comparison of one metric across two archived runs.
+
+    ``before``/``after`` are ``runs_to_dict`` outputs (or parsed JSON
+    archives thereof).  The table carries both values, the ratio, and
+    the VGIW cycle-count ratio for context.
+    """
+    table = ExperimentTable(
+        "Compare", f"{metric}: before vs after",
+        ["Kernel", "Before", "After", "Ratio",
+         "VGIW cycles x", "Fermi cycles x"],
+    )
+    ratios = []
+    for name in sorted(set(before) & set(after)):
+        b, a = before[name], after[name]
+        vb, va = b.get(metric), a.get(metric)
+        r = _ratio(va, vb)
+        if r is not None:
+            ratios.append(r)
+        table.add(
+            name, vb, va, r,
+            _ratio(a["vgiw"]["cycles"], b["vgiw"]["cycles"]),
+            _ratio(a["fermi"]["cycles"], b["fermi"]["cycles"]),
+        )
+    missing = sorted(set(before) ^ set(after))
+    if missing:
+        table.notes.append(f"kernels present in only one run: {missing}")
+    table.add("GEOMEAN", None, None, geomean(ratios), None, None)
+    return table
+
+
+def biggest_movers(before: Dict, after: Dict,
+                   metric: str = "speedup_vs_fermi", top: int = 5):
+    """The kernels whose metric moved the most, as (name, ratio) pairs
+    sorted by how far the ratio is from 1."""
+    moves = []
+    for name in set(before) & set(after):
+        r = _ratio(after[name].get(metric), before[name].get(metric))
+        if r is not None:
+            moves.append((name, r))
+    moves.sort(key=lambda kv: abs(kv[1] - 1.0), reverse=True)
+    return moves[:top]

@@ -1,0 +1,153 @@
+"""Evaluation runner: one workload across the three architectures.
+
+``run_kernel`` executes a Table 2 workload on Fermi, VGIW and (when the
+kernel fits its fabric) SGMF, verifies every machine's final memory
+against the reference interpreter, attaches energy breakdowns, and
+returns a :class:`KernelRun`.  ``run_suite`` does that for the whole
+registry and is the single data source for every figure's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.arch.config import FermiConfig, SGMFConfig, VGIWConfig
+from repro.compiler.optimize import optimize_kernel
+from repro.interp import interpret
+from repro.kernels.base import Workload
+from repro.kernels.registry import all_names, make_workload
+from repro.power import (
+    EnergyBreakdown,
+    energy_fermi,
+    energy_sgmf,
+    energy_vgiw,
+)
+from repro.sgmf import SGMFCore, SGMFRunResult, SGMFUnmappableError
+from repro.simt import FermiRunResult, FermiSM
+from repro.vgiw import VGIWCore, VGIWRunResult
+
+
+class VerificationError(AssertionError):
+    """A simulator's final memory diverged from the interpreter's."""
+
+
+@dataclass
+class KernelRun:
+    """All measurements for one workload across the machines."""
+
+    name: str
+    app: str
+    n_threads: int
+    n_blocks: int
+    fermi: FermiRunResult
+    vgiw: VGIWRunResult
+    sgmf: Optional[SGMFRunResult]  # None when unmappable
+    fermi_energy: EnergyBreakdown
+    vgiw_energy: EnergyBreakdown
+    sgmf_energy: Optional[EnergyBreakdown]
+
+    @property
+    def speedup_vs_fermi(self) -> float:
+        return self.fermi.cycles / self.vgiw.cycles
+
+    @property
+    def speedup_vs_sgmf(self) -> Optional[float]:
+        if self.sgmf is None:
+            return None
+        return self.sgmf.cycles / self.vgiw.cycles
+
+    def efficiency_vs_fermi(self, level: str = "system") -> float:
+        return getattr(self.fermi_energy, level) / getattr(self.vgiw_energy, level)
+
+    def efficiency_vs_sgmf(self, level: str = "system") -> Optional[float]:
+        if self.sgmf_energy is None:
+            return None
+        return getattr(self.sgmf_energy, level) / getattr(self.vgiw_energy, level)
+
+    @property
+    def sgmf_mappable(self) -> bool:
+        return self.sgmf is not None
+
+
+def run_kernel(
+    name: str,
+    scale: str = "small",
+    verify: bool = True,
+    vgiw_config: Optional[VGIWConfig] = None,
+    fermi_config: Optional[FermiConfig] = None,
+    sgmf_config: Optional[SGMFConfig] = None,
+    optimize: bool = True,
+) -> KernelRun:
+    """Run one registry workload on all three machines."""
+    workload = make_workload(name, scale)
+    if optimize:
+        kernel = optimize_kernel(workload.kernel, params=workload.params)
+        # SGMF's compiler must conserve fabric capacity, so it keeps
+        # loops rolled; Fermi and VGIW get the fully optimised kernel.
+        sgmf_kernel = optimize_kernel(
+            workload.kernel, params=workload.params, unroll=False
+        )
+    else:
+        kernel = sgmf_kernel = workload.kernel
+
+    golden = None
+    if verify:
+        golden = workload.memory.clone()
+        interpret(kernel, golden, workload.params, workload.n_threads)
+
+    def check(mem, arch: str) -> None:
+        if golden is not None and not np.array_equal(mem.data, golden.data):
+            raise VerificationError(
+                f"{arch} final memory diverges from the interpreter "
+                f"for {name}"
+            )
+
+    mem_f = workload.memory.clone()
+    fermi = FermiSM(fermi_config).run(
+        kernel, mem_f, workload.params, workload.n_threads
+    )
+    check(mem_f, "Fermi")
+
+    mem_v = workload.memory.clone()
+    vgiw = VGIWCore(vgiw_config).run(
+        kernel, mem_v, workload.params, workload.n_threads, profile=True
+    )
+    check(mem_v, "VGIW")
+
+    sgmf: Optional[SGMFRunResult] = None
+    sgmf_bd: Optional[EnergyBreakdown] = None
+    try:
+        mem_s = workload.memory.clone()
+        sgmf = SGMFCore(sgmf_config).run(
+            sgmf_kernel, mem_s, workload.params, workload.n_threads
+        )
+        check(mem_s, "SGMF")
+        sgmf_bd = energy_sgmf(sgmf)
+    except SGMFUnmappableError:
+        pass
+
+    return KernelRun(
+        name=name,
+        app=workload.app,
+        n_threads=workload.n_threads,
+        n_blocks=vgiw.n_blocks,
+        fermi=fermi,
+        vgiw=vgiw,
+        sgmf=sgmf,
+        fermi_energy=energy_fermi(fermi),
+        vgiw_energy=energy_vgiw(vgiw),
+        sgmf_energy=sgmf_bd,
+    )
+
+
+def run_suite(
+    names: Optional[Iterable[str]] = None,
+    scale: str = "small",
+    verify: bool = True,
+) -> Dict[str, KernelRun]:
+    """Run the whole Table 2 suite (the data behind every figure)."""
+    names = list(names) if names is not None else all_names()
+    return {name: run_kernel(name, scale, verify=verify) for name in names}

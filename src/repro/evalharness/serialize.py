@@ -1,0 +1,93 @@
+"""JSON serialisation of suite results.
+
+``runs_to_dict`` flattens a suite run into plain JSON-compatible data
+(per-kernel cycles, event counts, energy components) so results can be
+archived, diffed across calibrations, or plotted externally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.evalharness.runner import KernelRun
+
+
+def _cache_stats(stats) -> Dict:
+    return {
+        "accesses": stats.accesses,
+        "misses": stats.misses,
+        "hit_rate": stats.hit_rate,
+        "writebacks": stats.writebacks,
+        "bank_wait_cycles": stats.bank_wait_cycles,
+    }
+
+
+def run_to_dict(run: KernelRun) -> Dict:
+    """One kernel's measurements as a JSON-compatible dict."""
+    out = {
+        "name": run.name,
+        "app": run.app,
+        "n_threads": run.n_threads,
+        "n_blocks": run.n_blocks,
+        "speedup_vs_fermi": run.speedup_vs_fermi,
+        "speedup_vs_sgmf": run.speedup_vs_sgmf,
+        "sgmf_mappable": run.sgmf_mappable,
+        "fermi": {
+            "cycles": run.fermi.cycles,
+            "instructions": run.fermi.sm.instructions_issued,
+            "rf_accesses": run.fermi.sm.rf_accesses,
+            "simd_efficiency": run.fermi.sm.simd_efficiency,
+            "divergences": run.fermi.sm.divergences,
+            "mem_transactions": run.fermi.sm.mem_transactions,
+            "l1": _cache_stats(run.fermi.l1),
+            "dram_accesses": run.fermi.dram.accesses,
+            "energy": dict(run.fermi_energy.components),
+            "energy_levels": {
+                "core": run.fermi_energy.core,
+                "die": run.fermi_energy.die,
+                "system": run.fermi_energy.system,
+            },
+        },
+        "vgiw": {
+            "cycles": run.vgiw.cycles,
+            "node_fires": run.vgiw.fabric.node_fires,
+            "reconfigurations": run.vgiw.bbs.reconfigurations,
+            "config_overhead": run.vgiw.config_overhead,
+            "lvc_word_requests": run.vgiw.lvc_accesses,
+            "lvc_bank_accesses": run.vgiw.lvc_bank_accesses,
+            "cvt_accesses": run.vgiw.cvt.accesses,
+            "tiles": run.vgiw.tiles,
+            "l1": _cache_stats(run.vgiw.l1),
+            "dram_accesses": run.vgiw.dram.accesses,
+            "energy": dict(run.vgiw_energy.components),
+            "energy_levels": {
+                "core": run.vgiw_energy.core,
+                "die": run.vgiw_energy.die,
+                "system": run.vgiw_energy.system,
+            },
+        },
+    }
+    if run.sgmf is not None:
+        out["sgmf"] = {
+            "cycles": run.sgmf.cycles,
+            "replicas": run.sgmf.n_replicas,
+            "waste_fires": run.sgmf.waste_fires,
+            "useful_fire_fraction": run.sgmf.useful_fire_fraction,
+            "energy_levels": {
+                "core": run.sgmf_energy.core,
+                "die": run.sgmf_energy.die,
+                "system": run.sgmf_energy.system,
+            },
+        }
+    return out
+
+
+def runs_to_dict(runs: Dict[str, KernelRun]) -> Dict:
+    """A whole suite's measurements as a JSON-compatible dict."""
+    return {name: run_to_dict(run) for name, run in runs.items()}
+
+
+def runs_to_json(runs: Dict[str, KernelRun], indent: int = 2) -> str:
+    """A whole suite's measurements as a JSON string."""
+    return json.dumps(runs_to_dict(runs), indent=indent, sort_keys=True)

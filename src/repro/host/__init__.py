@@ -1,0 +1,5 @@
+"""Host-side convenience API (CUDA-runtime-flavoured)."""
+
+from repro.host.device import Device, DeviceArray, HostError
+
+__all__ = ["Device", "DeviceArray", "HostError"]

@@ -1,0 +1,164 @@
+"""Host-side convenience API: allocate arrays, launch kernels, read back.
+
+A thin CUDA-runtime-flavoured wrapper over the memory image and the four
+execution engines, so application code reads like host code:
+
+    from repro.host import Device
+
+    dev = Device("vgiw")
+    x = dev.array(np.arange(1024.0))
+    y = dev.array(np.ones(1024))
+    out = dev.empty(1024)
+    stats = dev.launch(saxpy, 1024, a=2.0, x=x, y=y, out=out, n=1024)
+    print(stats.cycles, out.to_numpy()[:4])
+
+Array handles passed as launch parameters are transparently converted to
+their base addresses.  ``device="interp"`` runs the reference
+interpreter (no timing), which is handy for golden checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.arch.config import FermiConfig, SGMFConfig, VGIWConfig
+from repro.compiler.optimize import optimize_kernel
+from repro.interp import interpret
+from repro.ir.kernel import Kernel
+from repro.memory.image import MemoryImage
+from repro.sgmf import SGMFCore
+from repro.simt import FermiSM
+from repro.vgiw import VGIWCore
+
+Number = Union[int, float]
+
+_BACKENDS = ("vgiw", "fermi", "sgmf", "interp")
+
+
+class HostError(Exception):
+    """Misuse of the host API."""
+
+
+@dataclass(frozen=True)
+class DeviceArray:
+    """A handle to a named region of device memory."""
+
+    device: "Device"
+    name: str
+    base: int
+    size: int
+
+    def to_numpy(self) -> np.ndarray:
+        """Copy the array's current contents back to the host."""
+        return self.device.memory.read_block(self.base, self.size)
+
+    def write(self, values: Sequence[Number]) -> None:
+        """Overwrite the array's contents from the host."""
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) != self.size:
+            raise HostError(
+                f"array {self.name!r} holds {self.size} words, "
+                f"got {len(values)}"
+            )
+        self.device.memory.write_block(self.base, values)
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class Device:
+    """One simulated device with its own memory image.
+
+    Parameters
+    ----------
+    backend:
+        ``"vgiw"``, ``"fermi"``, ``"sgmf"``, or ``"interp"``.
+    memory_words:
+        Size of the device memory image.
+    config:
+        Optional architecture configuration matching the backend.
+    optimize:
+        Run the per-launch optimisation pipeline (parameter
+        specialisation, unrolling, CSE, FMA contraction) before
+        executing.  Applies to every backend identically.
+    """
+
+    def __init__(self, backend: str = "vgiw", memory_words: int = 1 << 20,
+                 config=None, optimize: bool = True):
+        if backend not in _BACKENDS:
+            raise HostError(
+                f"unknown backend {backend!r}; pick one of {_BACKENDS}"
+            )
+        self.backend = backend
+        self.memory = MemoryImage(memory_words)
+        self.config = config
+        self.optimize = optimize
+        self._array_counter = 0
+        self.last_result = None
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    def _fresh_name(self, hint: str) -> str:
+        self._array_counter += 1
+        return f"{hint}.{self._array_counter}"
+
+    def array(self, values: Sequence[Number], name: Optional[str] = None
+              ) -> DeviceArray:
+        """Allocate and initialise a device array."""
+        values = np.asarray(values, dtype=np.float64)
+        name = name or self._fresh_name("array")
+        base = self.memory.alloc_array(name, values)
+        return DeviceArray(self, name, base, len(values))
+
+    def empty(self, size: int, name: Optional[str] = None) -> DeviceArray:
+        """Allocate an uninitialised (zeroed) device array."""
+        name = name or self._fresh_name("array")
+        base = self.memory.alloc(name, size)
+        return DeviceArray(self, name, base, size)
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel, n_threads: int, **params):
+        """Launch ``kernel`` over ``n_threads`` threads.
+
+        Keyword arguments supply the kernel parameters; ``DeviceArray``
+        handles are converted to their base addresses.  Returns the
+        backend's run result (also stored as ``last_result``); the
+        interpreter backend returns its :class:`InterpResult`.
+        """
+        missing = [p for p in kernel.params if p not in params]
+        if missing:
+            raise HostError(f"missing kernel parameters: {missing}")
+        resolved: Dict[str, Number] = {}
+        for name, value in params.items():
+            if isinstance(value, DeviceArray):
+                if value.device is not self:
+                    raise HostError(
+                        f"array {value.name!r} belongs to another device"
+                    )
+                resolved[name] = value.base
+            else:
+                resolved[name] = value
+
+        run_kernel = kernel
+        if self.optimize:
+            run_kernel = optimize_kernel(kernel, params=resolved)
+
+        if self.backend == "interp":
+            result = interpret(run_kernel, self.memory, resolved, n_threads)
+        elif self.backend == "vgiw":
+            core = VGIWCore(self.config)
+            result = core.run(run_kernel, self.memory, resolved, n_threads)
+        elif self.backend == "fermi":
+            sm = FermiSM(self.config)
+            result = sm.run(run_kernel, self.memory, resolved, n_threads)
+        else:
+            core = SGMFCore(self.config)
+            result = core.run(run_kernel, self.memory, resolved, n_threads)
+        self.last_result = result
+        return result

@@ -1,0 +1,17 @@
+"""Reference (golden) interpreter for the virtual kernel ISA."""
+
+from repro.interp.interpreter import (
+    InterpResult,
+    Interpreter,
+    InterpreterError,
+    ThreadTrace,
+    interpret,
+)
+
+__all__ = [
+    "InterpResult",
+    "Interpreter",
+    "InterpreterError",
+    "ThreadTrace",
+    "interpret",
+]

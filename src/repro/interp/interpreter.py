@@ -1,0 +1,171 @@
+"""Reference interpreter for the virtual kernel ISA.
+
+Executes a kernel thread-by-thread, sequentially, against a
+:class:`~repro.memory.image.MemoryImage`.  It is the golden functional
+model: every timing simulator's final memory image is asserted equal to
+the interpreter's in the test suite.
+
+The interpreter also records, per thread, the sequence of basic blocks
+visited.  The SGMF model and several analyses consume these traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.ir.instr import EVAL, Op, TermKind
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType, Imm, Operand, Reg, TID_REG, is_param_reg, PARAM_PREFIX
+from repro.memory.image import MemoryImage
+
+Number = Union[int, float, bool]
+
+
+class InterpreterError(Exception):
+    """Raised on runaway or ill-behaved kernels."""
+
+
+@dataclass
+class ThreadTrace:
+    """Per-thread execution record."""
+
+    tid: int
+    blocks: List[str] = field(default_factory=list)
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+
+
+@dataclass
+class InterpResult:
+    """Aggregate result of interpreting a kernel launch."""
+
+    kernel: Kernel
+    n_threads: int
+    traces: List[ThreadTrace]
+    block_visits: Counter = field(default_factory=Counter)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.traces)
+
+    @property
+    def total_loads(self) -> int:
+        return sum(t.loads for t in self.traces)
+
+    @property
+    def total_stores(self) -> int:
+        return sum(t.stores for t in self.traces)
+
+    def visits_of(self, tid: int, block: str) -> int:
+        return sum(1 for b in self.traces[tid].blocks if b == block)
+
+
+def _coerce(value: Number, dtype: DType) -> Number:
+    if dtype is DType.INT:
+        return int(value)
+    if dtype is DType.FLOAT:
+        return float(value)
+    return bool(value)
+
+
+class Interpreter:
+    """Sequential reference executor.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel to run.
+    memory:
+        Memory image the kernel reads and writes.
+    params:
+        Launch-parameter values by name; must cover ``kernel.params``.
+    max_block_visits:
+        Per-thread safety bound against runaway loops.
+    """
+
+    def __init__(self, kernel: Kernel, memory: MemoryImage,
+                 params: Dict[str, Number], max_block_visits: int = 1_000_000):
+        missing = [p for p in kernel.params if p not in params]
+        if missing:
+            raise InterpreterError(f"missing parameter values: {missing}")
+        self.kernel = kernel
+        self.memory = memory
+        self.params = {
+            name: _coerce(params[name], kernel.param_dtypes[name])
+            for name in kernel.params
+        }
+        self.max_block_visits = max_block_visits
+
+    # ------------------------------------------------------------------
+    def _fetch(self, regs: Dict[str, Number], tid: int, operand: Operand) -> Number:
+        if isinstance(operand, Imm):
+            return operand.value
+        if operand == TID_REG:
+            return tid
+        if is_param_reg(operand):
+            return self.params[operand.name[len(PARAM_PREFIX):]]
+        try:
+            return regs[operand.name]
+        except KeyError:
+            raise InterpreterError(
+                f"read of undefined register %{operand.name} "
+                f"in kernel {self.kernel.name}"
+            ) from None
+
+    def run_thread(self, tid: int) -> ThreadTrace:
+        """Execute one thread to completion; return its trace."""
+        kernel = self.kernel
+        memory = self.memory
+        regs: Dict[str, Number] = {}
+        trace = ThreadTrace(tid)
+        block_name: Optional[str] = kernel.entry
+        visits = 0
+        while block_name is not None:
+            visits += 1
+            if visits > self.max_block_visits:
+                raise InterpreterError(
+                    f"thread {tid} exceeded {self.max_block_visits} block visits "
+                    f"in kernel {kernel.name} (runaway loop?)"
+                )
+            block = kernel.blocks[block_name]
+            trace.blocks.append(block_name)
+            for instr in block.instrs:
+                trace.instructions += 1
+                if instr.op is Op.LOAD:
+                    addr = self._fetch(regs, tid, instr.srcs[0])
+                    regs[instr.dst] = _coerce(memory.read(int(addr)), instr.dtype)
+                    trace.loads += 1
+                elif instr.op is Op.STORE:
+                    addr = self._fetch(regs, tid, instr.srcs[0])
+                    value = self._fetch(regs, tid, instr.srcs[1])
+                    memory.write(int(addr), value)
+                    trace.stores += 1
+                else:
+                    args = [self._fetch(regs, tid, s) for s in instr.srcs]
+                    regs[instr.dst] = _coerce(EVAL[instr.op](*args), instr.dtype)
+            term = block.terminator
+            if term.kind is TermKind.RET:
+                block_name = None
+            elif term.kind is TermKind.JMP:
+                block_name = term.true_target
+            else:
+                taken = bool(self._fetch(regs, tid, term.cond))
+                block_name = term.true_target if taken else term.false_target
+        return trace
+
+    def run(self, n_threads: int) -> InterpResult:
+        """Execute ``n_threads`` threads (TIDs 0..n-1) sequentially."""
+        traces = [self.run_thread(tid) for tid in range(n_threads)]
+        result = InterpResult(self.kernel, n_threads, traces)
+        for t in traces:
+            result.block_visits.update(t.blocks)
+        return result
+
+
+def interpret(kernel: Kernel, memory: MemoryImage, params: Dict[str, Number],
+              n_threads: int, max_block_visits: int = 1_000_000) -> InterpResult:
+    """Convenience wrapper: build an :class:`Interpreter` and run it."""
+    return Interpreter(kernel, memory, params, max_block_visits).run(n_threads)

@@ -1,0 +1,59 @@
+"""Virtual kernel ISA: types, instructions, basic blocks, kernels, builder."""
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import BuildError, KernelBuilder, Val
+from repro.ir.instr import (
+    EVAL,
+    Instr,
+    Op,
+    TermKind,
+    Terminator,
+    UnitClass,
+    result_dtype,
+    unit_class,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.types import (
+    DType,
+    Imm,
+    Operand,
+    Reg,
+    TID_REG,
+    is_param_reg,
+    is_reserved_reg,
+    param_reg,
+)
+from repro.ir.stats import KernelStatistics, kernel_statistics
+from repro.ir.text import ParseError, kernel_to_text, parse_kernel
+from repro.ir.validate import ValidationError, validate_kernel
+
+__all__ = [
+    "BasicBlock",
+    "BuildError",
+    "DType",
+    "EVAL",
+    "Imm",
+    "Instr",
+    "Kernel",
+    "KernelStatistics",
+    "KernelBuilder",
+    "Op",
+    "Operand",
+    "ParseError",
+    "Reg",
+    "TID_REG",
+    "TermKind",
+    "Terminator",
+    "UnitClass",
+    "Val",
+    "ValidationError",
+    "is_param_reg",
+    "is_reserved_reg",
+    "kernel_statistics",
+    "kernel_to_text",
+    "param_reg",
+    "parse_kernel",
+    "result_dtype",
+    "unit_class",
+    "validate_kernel",
+]

@@ -1,0 +1,557 @@
+"""Structured builder DSL for constructing kernels.
+
+The builder plays the role of the CUDA-to-SSA frontend in the original
+toolchain (paper section 4): kernels are written as Python code using
+operator-overloaded :class:`Val` handles and structured control flow
+(``if_``/``else_``/``loop``/``for_range``), and the builder emits the
+basic-block CFG the compiler consumes.
+
+Example::
+
+    kb = KernelBuilder("saxpy", params=["a", "x", "y", "out", "n"])
+    i = kb.tid()
+    with kb.if_(i < kb.param("n")):
+        xv = kb.load(kb.param("x") + i)
+        yv = kb.load(kb.param("y") + i)
+        kb.store(kb.param("out") + i, kb.fparam("a") * xv + yv)
+    kernel = kb.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.ir.block import BasicBlock
+from repro.ir.instr import Instr, Op, Terminator
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType, Imm, Operand, Reg, TID_REG, param_reg
+from repro.ir.validate import validate_kernel
+
+Number = Union[int, float, bool]
+
+
+class BuildError(Exception):
+    """Raised on misuse of the builder API."""
+
+
+class Val:
+    """A value handle bound to a builder.
+
+    Arithmetic and comparison operators emit instructions into the
+    builder's current basic block and return new handles.  Integer and
+    float operands may be mixed; integers are promoted to float.
+    """
+
+    __slots__ = ("builder", "operand", "dtype")
+
+    def __init__(self, builder: "KernelBuilder", operand: Operand, dtype: DType):
+        self.builder = builder
+        self.operand = operand
+        self.dtype = dtype
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other):
+        return self.builder._binop(Op.ADD, Op.FADD, self, other)
+
+    def __radd__(self, other):
+        return self.builder._binop(Op.ADD, Op.FADD, other, self)
+
+    def __sub__(self, other):
+        return self.builder._binop(Op.SUB, Op.FSUB, self, other)
+
+    def __rsub__(self, other):
+        return self.builder._binop(Op.SUB, Op.FSUB, other, self)
+
+    def __mul__(self, other):
+        return self.builder._binop(Op.MUL, Op.FMUL, self, other)
+
+    def __rmul__(self, other):
+        return self.builder._binop(Op.MUL, Op.FMUL, other, self)
+
+    def __truediv__(self, other):
+        return self.builder._binop(Op.DIV, Op.FDIV, self, other)
+
+    def __rtruediv__(self, other):
+        return self.builder._binop(Op.DIV, Op.FDIV, other, self)
+
+    def __floordiv__(self, other):
+        return self.builder._binop(Op.DIV, None, self, other)
+
+    def __mod__(self, other):
+        return self.builder._binop(Op.REM, None, self, other)
+
+    def __lshift__(self, other):
+        return self.builder._binop(Op.SHL, None, self, other)
+
+    def __rshift__(self, other):
+        return self.builder._binop(Op.SHR, None, self, other)
+
+    def __and__(self, other):
+        return self.builder._binop(Op.AND, None, self, other)
+
+    def __or__(self, other):
+        return self.builder._binop(Op.OR, None, self, other)
+
+    def __xor__(self, other):
+        return self.builder._binop(Op.XOR, None, self, other)
+
+    def __neg__(self):
+        op = Op.FNEG if self.dtype is DType.FLOAT else Op.NEG
+        return self.builder._emit(op, [self], self.dtype)
+
+    def __invert__(self):
+        return self.builder._emit(Op.NOT, [self], self.dtype)
+
+    # -- comparisons (produce PRED) -------------------------------------
+    def __lt__(self, other):
+        return self.builder._cmp(Op.LT, self, other)
+
+    def __le__(self, other):
+        return self.builder._cmp(Op.LE, self, other)
+
+    def __gt__(self, other):
+        return self.builder._cmp(Op.GT, self, other)
+
+    def __ge__(self, other):
+        return self.builder._cmp(Op.GE, self, other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self.builder._cmp(Op.EQ, self, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self.builder._cmp(Op.NE, self, other)
+
+    __hash__ = None  # Val equality builds IR; handles are not hashable.
+
+    def __repr__(self) -> str:
+        return f"Val({self.operand!r}:{self.dtype.value})"
+
+
+class _IfCtx:
+    """Context manager for the true arm of a conditional."""
+
+    def __init__(self, builder: "KernelBuilder", cond: Val):
+        self.builder = builder
+        self.cond = cond
+        self.cond_block: Optional[BasicBlock] = None
+        self.merge_name: Optional[str] = None
+
+    def __enter__(self):
+        kb = self.builder
+        kb._pending_else = None
+        then_name = kb._fresh_block_name("then")
+        self.merge_name = kb._fresh_block_name("endif")
+        self.cond_block = kb._current
+        kb._terminate(Terminator.br(self.cond.operand, then_name, self.merge_name))
+        kb._open_block(then_name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            return False
+        kb = self.builder
+        if not kb._is_terminated():
+            kb._terminate(Terminator.jmp(self.merge_name))
+        kb._open_block(self.merge_name)
+        kb._pending_else = self
+        return False
+
+
+class _ElseCtx:
+    """Context manager for the false arm; must directly follow the if."""
+
+    def __init__(self, builder: "KernelBuilder"):
+        self.builder = builder
+        self.merge_name: Optional[str] = None
+
+    def __enter__(self):
+        kb = self.builder
+        frame = kb._pending_else
+        if frame is None:
+            raise BuildError("else_() must immediately follow an if_() block")
+        kb._pending_else = None
+        self.merge_name = frame.merge_name
+        else_name = kb._fresh_block_name("else")
+        # Retarget the false edge of the conditional from the merge block
+        # to the new else block; the merge block stays (currently empty).
+        frame.cond_block.terminator.false_target = else_name
+        kb._open_block(else_name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            return False
+        kb = self.builder
+        if not kb._is_terminated():
+            kb._terminate(Terminator.jmp(self.merge_name))
+        kb._open_block(self.merge_name)
+        return False
+
+
+class _LoopCtx:
+    """Context manager for a loop region.
+
+    On entry the builder moves to a fresh *header* block.  The loop body
+    begins when :meth:`break_unless` (or :meth:`break_if`) terminates the
+    header with the loop condition.  At context exit control jumps back
+    to the header and the builder continues in the loop's exit block.
+    """
+
+    def __init__(self, builder: "KernelBuilder"):
+        self.builder = builder
+        self.header_name: Optional[str] = None
+        self.exit_name: Optional[str] = None
+
+    def __enter__(self):
+        kb = self.builder
+        kb._pending_else = None
+        self.header_name = kb._fresh_block_name("loop")
+        self.exit_name = kb._fresh_block_name("endloop")
+        kb._terminate(Terminator.jmp(self.header_name))
+        kb._open_block(self.header_name)
+        return self
+
+    def break_unless(self, cond: Val) -> None:
+        """Continue into the body while ``cond`` holds; exit otherwise."""
+        kb = self.builder
+        body_name = kb._fresh_block_name("body")
+        kb._terminate(Terminator.br(cond.operand, body_name, self.exit_name))
+        kb._open_block(body_name)
+
+    def break_if(self, cond: Val) -> None:
+        """Exit the loop when ``cond`` holds; continue into the body otherwise."""
+        kb = self.builder
+        body_name = kb._fresh_block_name("body")
+        kb._terminate(Terminator.br(cond.operand, self.exit_name, body_name))
+        kb._open_block(body_name)
+
+    def break_(self) -> None:
+        """Unconditionally exit the loop (code after this is unreachable)."""
+        kb = self.builder
+        kb._terminate(Terminator.jmp(self.exit_name))
+        kb._open_block(kb._fresh_block_name("dead"))
+
+    def continue_(self) -> None:
+        """Jump back to the loop header (code after this is unreachable)."""
+        kb = self.builder
+        kb._terminate(Terminator.jmp(self.header_name))
+        kb._open_block(kb._fresh_block_name("dead"))
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            return False
+        kb = self.builder
+        if not kb._is_terminated():
+            kb._terminate(Terminator.jmp(self.header_name))
+        kb._open_block(self.exit_name)
+        return False
+
+
+class KernelBuilder:
+    """Builds a :class:`~repro.ir.kernel.Kernel` through structured calls.
+
+    Parameters
+    ----------
+    name:
+        Kernel name (used in reports).
+    params:
+        Launch-parameter names.  Parameters are INT by default; reading
+        one through :meth:`fparam` declares it FLOAT.
+    """
+
+    def __init__(self, name: str, params: Iterable[str] = ()):  # noqa: D107
+        self.name = name
+        self.params: List[str] = list(params)
+        self.param_dtypes: Dict[str, DType] = {p: DType.INT for p in self.params}
+        self._blocks: Dict[str, BasicBlock] = {}
+        self._tmp_counter = 0
+        self._block_counter = 0
+        self._current: Optional[BasicBlock] = None
+        self._pending_else: Optional[_IfCtx] = None
+        self._built = False
+        self._open_block("entry")
+
+    # ------------------------------------------------------------------
+    # Low-level plumbing
+    # ------------------------------------------------------------------
+    def _fresh_block_name(self, hint: str) -> str:
+        self._block_counter += 1
+        return f"{hint}.{self._block_counter}"
+
+    def _fresh_reg(self) -> str:
+        self._tmp_counter += 1
+        return f"t{self._tmp_counter}"
+
+    def _open_block(self, name: str) -> None:
+        if name in self._blocks:
+            block = self._blocks[name]
+        else:
+            block = BasicBlock(name)
+            self._blocks[name] = block
+        self._current = block
+
+    def _is_terminated(self) -> bool:
+        return self._current.terminator is not None
+
+    def _terminate(self, term: Terminator) -> None:
+        if self._is_terminated():
+            raise BuildError(f"block {self._current.name} already terminated")
+        self._current.terminator = term
+
+    def _wrap(self, x: Union[Val, Number], dtype_hint: Optional[DType] = None) -> Val:
+        if isinstance(x, Val):
+            return x
+        if isinstance(x, bool):
+            return Val(self, Imm(x, DType.PRED), DType.PRED)
+        if isinstance(x, int):
+            if dtype_hint is DType.FLOAT:
+                return Val(self, Imm(float(x), DType.FLOAT), DType.FLOAT)
+            return Val(self, Imm(x, DType.INT), DType.INT)
+        if isinstance(x, float):
+            return Val(self, Imm(x, DType.FLOAT), DType.FLOAT)
+        raise BuildError(f"cannot use {x!r} as an operand")
+
+    def _emit(self, op: Op, srcs: List[Union[Val, Number]], dtype: DType,
+              dst: Optional[str] = None) -> Optional[Val]:
+        """Append an instruction to the current block, return its result."""
+        self._pending_else = None
+        if self._is_terminated():
+            raise BuildError(
+                f"emitting into terminated block {self._current.name}; "
+                "did code escape an if_/loop context?"
+            )
+        operands = tuple(self._wrap(s).operand for s in srcs)
+        if op is Op.STORE:
+            self._current.append(Instr(op, None, operands, dtype))
+            return None
+        if dst is None:
+            dst = self._fresh_reg()
+        self._current.append(Instr(op, dst, operands, dtype))
+        return Val(self, Reg(dst), dtype)
+
+    def _promote_pair(self, a: Union[Val, Number], b: Union[Val, Number]):
+        """Wrap and, if needed, int→float promote a pair of operands."""
+        av, bv = self._wrap(a), self._wrap(b)
+        if av.dtype is DType.FLOAT or bv.dtype is DType.FLOAT:
+            av = self._to_float(av)
+            bv = self._to_float(bv)
+        return av, bv
+
+    def _to_float(self, v: Val) -> Val:
+        if v.dtype is DType.FLOAT:
+            return v
+        if isinstance(v.operand, Imm):
+            return Val(self, Imm(float(v.operand.value), DType.FLOAT), DType.FLOAT)
+        return self._emit(Op.I2F, [v], DType.FLOAT)
+
+    def _binop(self, int_op: Optional[Op], float_op: Optional[Op],
+               a: Union[Val, Number], b: Union[Val, Number]) -> Val:
+        av, bv = self._promote_pair(a, b)
+        if av.dtype is DType.FLOAT:
+            if float_op is None:
+                raise BuildError(f"operation {int_op} not defined for floats")
+            return self._emit(float_op, [av, bv], DType.FLOAT)
+        if int_op is None:
+            raise BuildError(f"operation {float_op} not defined for ints")
+        return self._emit(int_op, [av, bv], DType.INT)
+
+    def _cmp(self, op: Op, a: Union[Val, Number], b: Union[Val, Number]) -> Val:
+        av, bv = self._promote_pair(a, b)
+        return self._emit(op, [av, bv], DType.PRED)
+
+    # ------------------------------------------------------------------
+    # Leaf values
+    # ------------------------------------------------------------------
+    def tid(self) -> Val:
+        """The thread index (CUDA ThreadIDX), provided by the initiator CVU."""
+        return Val(self, TID_REG, DType.INT)
+
+    def param(self, name: str) -> Val:
+        """Read integer kernel parameter ``name``."""
+        if name not in self.param_dtypes:
+            raise BuildError(f"unknown parameter {name!r}")
+        return Val(self, param_reg(name), self.param_dtypes[name])
+
+    def fparam(self, name: str) -> Val:
+        """Read kernel parameter ``name``, declaring it FLOAT."""
+        if name not in self.param_dtypes:
+            raise BuildError(f"unknown parameter {name!r}")
+        self.param_dtypes[name] = DType.FLOAT
+        return Val(self, param_reg(name), DType.FLOAT)
+
+    def const(self, value: Number, dtype: Optional[DType] = None) -> Val:
+        """An immediate value."""
+        v = self._wrap(value, dtype)
+        if dtype is not None and v.dtype is not dtype:
+            v = Val(self, Imm(v.operand.value, dtype), dtype)
+        return v
+
+    # ------------------------------------------------------------------
+    # Mutable variables
+    # ------------------------------------------------------------------
+    def var(self, name: str, init: Union[Val, Number, None] = None,
+            dtype: Optional[DType] = None) -> Val:
+        """Declare a mutable named register, optionally initialising it.
+
+        Returns a handle that always denotes the register's current
+        value; use :meth:`assign` to update it.
+        """
+        reg = Reg(name)
+        if init is not None:
+            iv = self._wrap(init, dtype)
+            dtype = dtype or iv.dtype
+            self._emit(Op.MOV, [iv], dtype, dst=name)
+        elif dtype is None:
+            raise BuildError(f"var {name!r} needs an init value or a dtype")
+        return Val(self, reg, dtype)
+
+    def assign(self, var: Val, value: Union[Val, Number]) -> None:
+        """Assign ``value`` to the register behind ``var``."""
+        if not isinstance(var.operand, Reg):
+            raise BuildError("assignment target must be a register-backed Val")
+        val = self._wrap(value, var.dtype)
+        if var.dtype is DType.FLOAT and val.dtype is not DType.FLOAT:
+            val = self._to_float(val)
+        self._emit(Op.MOV, [val], var.dtype, dst=var.operand.name)
+
+    # ------------------------------------------------------------------
+    # Operations beyond the operator overloads
+    # ------------------------------------------------------------------
+    def select(self, pred: Val, if_true: Union[Val, Number],
+               if_false: Union[Val, Number]) -> Val:
+        tv, fv = self._promote_pair(if_true, if_false)
+        return self._emit(Op.SELECT, [pred, tv, fv], tv.dtype)
+
+    def min_(self, a, b) -> Val:
+        return self._binop(Op.MIN, Op.FMIN, a, b)
+
+    def max_(self, a, b) -> Val:
+        return self._binop(Op.MAX, Op.FMAX, a, b)
+
+    def abs_(self, a) -> Val:
+        v = self._wrap(a)
+        op = Op.FABS if v.dtype is DType.FLOAT else Op.ABS
+        return self._emit(op, [v], v.dtype)
+
+    def fma(self, a, b, c) -> Val:
+        vals = [self._to_float(self._wrap(x)) for x in (a, b, c)]
+        return self._emit(Op.FMA, vals, DType.FLOAT)
+
+    def sqrt(self, a) -> Val:
+        return self._emit(Op.FSQRT, [self._to_float(self._wrap(a))], DType.FLOAT)
+
+    def rsqrt(self, a) -> Val:
+        return self._emit(Op.FRSQRT, [self._to_float(self._wrap(a))], DType.FLOAT)
+
+    def exp(self, a) -> Val:
+        return self._emit(Op.FEXP, [self._to_float(self._wrap(a))], DType.FLOAT)
+
+    def log(self, a) -> Val:
+        return self._emit(Op.FLOG, [self._to_float(self._wrap(a))], DType.FLOAT)
+
+    def sin(self, a) -> Val:
+        return self._emit(Op.FSIN, [self._to_float(self._wrap(a))], DType.FLOAT)
+
+    def cos(self, a) -> Val:
+        return self._emit(Op.FCOS, [self._to_float(self._wrap(a))], DType.FLOAT)
+
+    def floor(self, a) -> Val:
+        return self._emit(Op.FFLOOR, [self._to_float(self._wrap(a))], DType.FLOAT)
+
+    def i2f(self, a) -> Val:
+        return self._to_float(self._wrap(a))
+
+    def f2i(self, a) -> Val:
+        return self._emit(Op.F2I, [self._wrap(a)], DType.INT)
+
+    def not_(self, p: Val) -> Val:
+        return self._emit(Op.NOT, [p], DType.PRED)
+
+    def and_(self, a: Val, b: Val) -> Val:
+        return self._emit(Op.AND, [a, b], DType.PRED)
+
+    def or_(self, a: Val, b: Val) -> Val:
+        return self._emit(Op.OR, [a, b], DType.PRED)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, addr: Union[Val, Number], dtype: DType = DType.FLOAT) -> Val:
+        """Load ``mem[addr]`` (word-addressed)."""
+        return self._emit(Op.LOAD, [self._wrap(addr)], dtype)
+
+    def store(self, addr: Union[Val, Number], value: Union[Val, Number]) -> None:
+        """Store ``value`` to ``mem[addr]`` (word-addressed)."""
+        v = self._wrap(value)
+        self._emit(Op.STORE, [self._wrap(addr), v], v.dtype)
+
+    # ------------------------------------------------------------------
+    # Structured control flow
+    # ------------------------------------------------------------------
+    def if_(self, cond: Val) -> _IfCtx:
+        """``with kb.if_(cond): ...`` — execute the body when ``cond`` holds."""
+        return _IfCtx(self, cond)
+
+    def else_(self) -> _ElseCtx:
+        """``with kb.else_(): ...`` — must directly follow an ``if_`` block."""
+        return _ElseCtx(self)
+
+    def loop(self) -> _LoopCtx:
+        """``with kb.loop() as lp: ...`` — a loop; see :class:`_LoopCtx`."""
+        return _LoopCtx(self)
+
+    @contextlib.contextmanager
+    def for_range(self, start: Union[Val, Number], stop: Union[Val, Number],
+                  step: int = 1, name: Optional[str] = None):
+        """Counted loop: yields the induction variable.
+
+        ``step`` must be a non-zero Python integer; the loop runs while
+        ``i < stop`` (or ``i > stop`` for negative steps).
+        """
+        if step == 0:
+            raise BuildError("for_range step must be non-zero")
+        name = name or self._fresh_reg() + ".i"
+        i = self.var(name, start)
+        with self.loop() as lp:
+            cond = (i < stop) if step > 0 else (i > stop)
+            lp.break_unless(cond)
+            yield i
+            self.assign(i, i + step)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> Kernel:
+        """Terminate, prune unreachable blocks, validate, and return the kernel."""
+        if self._built:
+            raise BuildError("build() called twice")
+        self._built = True
+        if not self._is_terminated():
+            self._terminate(Terminator.ret())
+
+        # Prune blocks unreachable from the entry (created by break_ /
+        # continue_ dead paths or by else-retargeting).
+        reachable = {"entry"}
+        stack = ["entry"]
+        while stack:
+            block = self._blocks[stack.pop()]
+            if block.terminator is None:
+                # An unterminated reachable block is a fall-off-the-end
+                # merge block; control leaving it exits the kernel.
+                block.terminator = Terminator.ret()
+            for succ in block.terminator.targets():
+                if succ not in reachable:
+                    reachable.add(succ)
+                    stack.append(succ)
+        blocks = {n: b for n, b in self._blocks.items() if n in reachable}
+
+        kernel = Kernel(
+            name=self.name,
+            params=self.params,
+            blocks=blocks,
+            entry="entry",
+            param_dtypes=dict(self.param_dtypes),
+        )
+        validate_kernel(kernel)
+        return kernel

@@ -1,0 +1,278 @@
+"""Instructions and terminators of the virtual kernel ISA.
+
+Each opcode is annotated with the MT-CGRF functional-unit class that
+executes it (paper section 3.5):
+
+* ``COMPUTE`` — the merged FPU-ALU compute units (pipelined, II = 1).
+* ``SPECIAL`` — special compute units (SCUs) that pool non-pipelined
+  circuits such as dividers and square roots.
+* ``MEMORY``  — load/store units (LDSTUs) on the grid perimeter.
+
+Live-value traffic (LVU), thread initiation/termination (CVU) and
+split/join nodes are not opcodes; the compiler materialises them as
+dataflow-graph nodes when it extracts each basic block's graph.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.ir.types import DType, Operand
+
+
+class UnitClass(enum.Enum):
+    """Functional-unit class that executes an opcode."""
+
+    COMPUTE = "compute"
+    SPECIAL = "special"
+    MEMORY = "memory"
+
+
+class Op(enum.Enum):
+    """Opcodes of the virtual ISA."""
+
+    # Integer arithmetic / logic (ALU side of the merged unit).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    NEG = "neg"
+    NOT = "not"
+    ABS = "abs"
+    # Floating point (FPU side of the merged unit).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FMA = "fma"
+    # Comparisons (operate on either numeric type, produce PRED).
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # Conversions and moves.
+    I2F = "i2f"
+    F2I = "f2i"  # truncation toward zero
+    MOV = "mov"
+    SELECT = "select"  # (pred, if_true, if_false)
+    # Non-pipelined operations, executed by the SCUs.
+    DIV = "div"  # integer division, truncating toward negative infinity
+    REM = "rem"  # integer remainder, sign follows divisor (Python %)
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FRSQRT = "frsqrt"
+    FEXP = "fexp"
+    FLOG = "flog"
+    FSIN = "fsin"
+    FCOS = "fcos"
+    FFLOOR = "ffloor"
+    # Memory.
+    LOAD = "load"  # dst <- mem[src0]
+    STORE = "store"  # mem[src0] <- src1
+
+
+_SPECIAL_OPS = {
+    Op.DIV,
+    Op.REM,
+    Op.FDIV,
+    Op.FSQRT,
+    Op.FRSQRT,
+    Op.FEXP,
+    Op.FLOG,
+    Op.FSIN,
+    Op.FCOS,
+    Op.FFLOOR,
+}
+
+_MEMORY_OPS = {Op.LOAD, Op.STORE}
+
+_FLOAT_RESULT_OPS = {
+    Op.FADD,
+    Op.FSUB,
+    Op.FMUL,
+    Op.FMIN,
+    Op.FMAX,
+    Op.FNEG,
+    Op.FABS,
+    Op.FMA,
+    Op.I2F,
+    Op.FDIV,
+    Op.FSQRT,
+    Op.FRSQRT,
+    Op.FEXP,
+    Op.FLOG,
+    Op.FSIN,
+    Op.FCOS,
+    Op.FFLOOR,
+}
+
+_PRED_RESULT_OPS = {Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE}
+
+
+def unit_class(op: Op) -> UnitClass:
+    """Return the functional-unit class that executes ``op``."""
+    if op in _SPECIAL_OPS:
+        return UnitClass.SPECIAL
+    if op in _MEMORY_OPS:
+        return UnitClass.MEMORY
+    return UnitClass.COMPUTE
+
+
+def result_dtype(op: Op, operand_dtype: DType = DType.INT) -> DType:
+    """Return the data type an opcode produces.
+
+    ``MOV`` and ``SELECT`` are polymorphic; for those the caller supplies
+    the operand type.
+    """
+    if op in _FLOAT_RESULT_OPS:
+        return DType.FLOAT
+    if op in _PRED_RESULT_OPS:
+        return DType.PRED
+    if op in (Op.MOV, Op.SELECT, Op.LOAD):
+        return operand_dtype
+    return DType.INT
+
+
+@dataclass
+class Instr:
+    """A three-address instruction.
+
+    ``dst`` is ``None`` only for ``STORE``.  ``srcs`` holds the operands
+    in opcode-defined order.  ``dtype`` is the result data type (for
+    ``STORE``, the type of the stored value).
+    """
+
+    op: Op
+    dst: Optional[str]
+    srcs: Tuple[Operand, ...]
+    dtype: DType
+
+    def __repr__(self) -> str:
+        srcs = ", ".join(repr(s) for s in self.srcs)
+        if self.dst is None:
+            return f"{self.op.value} {srcs}"
+        return f"%{self.dst} = {self.op.value} {srcs}"
+
+
+class TermKind(enum.Enum):
+    """Kinds of basic-block terminators."""
+
+    JMP = "jmp"
+    BR = "br"
+    RET = "ret"
+
+
+@dataclass
+class Terminator:
+    """Block terminator: an unconditional jump, a two-way conditional
+    branch, or a kernel exit.
+
+    The conditional branch carries a PRED operand; a true outcome
+    transfers control to ``true_target``, false to ``false_target``.
+    On a VGIW machine the terminator is executed by a control vector
+    unit acting as a thread terminator (paper section 3.5, Fig. 6).
+    """
+
+    kind: TermKind
+    cond: Optional[Operand] = None
+    true_target: Optional[str] = None
+    false_target: Optional[str] = None
+
+    @staticmethod
+    def jmp(target: str) -> "Terminator":
+        return Terminator(TermKind.JMP, true_target=target)
+
+    @staticmethod
+    def br(cond: Operand, true_target: str, false_target: str) -> "Terminator":
+        return Terminator(
+            TermKind.BR, cond=cond, true_target=true_target, false_target=false_target
+        )
+
+    @staticmethod
+    def ret() -> "Terminator":
+        return Terminator(TermKind.RET)
+
+    def targets(self) -> Tuple[str, ...]:
+        """Successor block names, in (true, false) order."""
+        if self.kind is TermKind.JMP:
+            return (self.true_target,)
+        if self.kind is TermKind.BR:
+            return (self.true_target, self.false_target)
+        return ()
+
+    def __repr__(self) -> str:
+        if self.kind is TermKind.JMP:
+            return f"jmp {self.true_target}"
+        if self.kind is TermKind.BR:
+            return f"br {self.cond!r}, {self.true_target}, {self.false_target}"
+        return "ret"
+
+
+def _as_bool(x: Union[int, float, bool]) -> bool:
+    return bool(x)
+
+
+def _frsqrt(x: float) -> float:
+    return 1.0 / math.sqrt(x)
+
+
+#: Pure evaluation functions for every non-memory opcode, shared by the
+#: reference interpreter and all three timing simulators so that the
+#: machines are functionally identical by construction.
+EVAL: Dict[Op, Callable] = {
+    Op.ADD: lambda a, b: int(a) + int(b),
+    Op.SUB: lambda a, b: int(a) - int(b),
+    Op.MUL: lambda a, b: int(a) * int(b),
+    Op.MIN: lambda a, b: min(int(a), int(b)),
+    Op.MAX: lambda a, b: max(int(a), int(b)),
+    Op.AND: lambda a, b: int(a) & int(b),
+    Op.OR: lambda a, b: int(a) | int(b),
+    Op.XOR: lambda a, b: int(a) ^ int(b),
+    Op.SHL: lambda a, b: int(a) << int(b),
+    Op.SHR: lambda a, b: int(a) >> int(b),
+    Op.NEG: lambda a: -int(a),
+    Op.NOT: lambda a: (not _as_bool(a)) if isinstance(a, bool) else ~int(a),
+    Op.ABS: lambda a: abs(int(a)),
+    Op.FADD: lambda a, b: float(a) + float(b),
+    Op.FSUB: lambda a, b: float(a) - float(b),
+    Op.FMUL: lambda a, b: float(a) * float(b),
+    Op.FMIN: lambda a, b: min(float(a), float(b)),
+    Op.FMAX: lambda a, b: max(float(a), float(b)),
+    Op.FNEG: lambda a: -float(a),
+    Op.FABS: lambda a: abs(float(a)),
+    Op.FMA: lambda a, b, c: float(a) * float(b) + float(c),
+    Op.EQ: lambda a, b: a == b,
+    Op.NE: lambda a, b: a != b,
+    Op.LT: lambda a, b: a < b,
+    Op.LE: lambda a, b: a <= b,
+    Op.GT: lambda a, b: a > b,
+    Op.GE: lambda a, b: a >= b,
+    Op.I2F: lambda a: float(int(a)),
+    Op.F2I: lambda a: int(float(a)),
+    Op.MOV: lambda a: a,
+    Op.SELECT: lambda p, a, b: a if _as_bool(p) else b,
+    Op.DIV: lambda a, b: int(a) // int(b),
+    Op.REM: lambda a, b: int(a) % int(b),
+    Op.FDIV: lambda a, b: float(a) / float(b),
+    Op.FSQRT: lambda a: math.sqrt(float(a)),
+    Op.FRSQRT: lambda a: _frsqrt(float(a)),
+    Op.FEXP: lambda a: math.exp(float(a)),
+    Op.FLOG: lambda a: math.log(float(a)),
+    Op.FSIN: lambda a: math.sin(float(a)),
+    Op.FCOS: lambda a: math.cos(float(a)),
+    Op.FFLOOR: lambda a: math.floor(float(a)),
+}

@@ -1,0 +1,243 @@
+"""Textual kernel format: disassembler and assembler.
+
+``kernel_to_text`` renders a kernel in a stable, fully-typed format;
+``parse_kernel`` reads it back.  The round trip is structurally exact
+(asserted over the whole benchmark suite in the tests), which makes the
+format suitable for golden files, bug reports, and writing kernels
+outside Python.
+
+Format::
+
+    kernel saxpy(a, x, y, out, n) float(a)
+    entry:
+      %t1 = lt %tid, %arg.n !pred
+      br %t1, then.1, endif.2
+    then.1:
+      %t2 = add %arg.x, %tid !int
+      %t3 = load %t2 !float
+      store %t6, %t8 !float
+      jmp endif.2
+    endif.2:
+      ret
+
+Operands: ``%name`` registers (``%tid`` and ``%arg.<param>`` reserved),
+``#<value>`` immediates (``#3`` int, ``#3.5`` float, ``#true``/``#false``
+predicates).  Every instruction carries its result dtype after ``!``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.instr import Instr, Op, TermKind, Terminator
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType, Imm, Operand, Reg
+from repro.ir.validate import validate_kernel
+
+
+class ParseError(Exception):
+    """Malformed kernel text."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_DTYPE_NAMES = {d.value: d for d in DType}
+_OP_NAMES = {op.value: op for op in Op}
+
+_HEADER_RE = re.compile(
+    r"^kernel\s+(?P<name>[\w.]+)\((?P<params>[^)]*)\)"
+    r"(?:\s+float\((?P<floats>[^)]*)\))?$"
+)
+_LABEL_RE = re.compile(r"^(?P<label>[\w.]+):$")
+_ASSIGN_RE = re.compile(
+    r"^%(?P<dst>[\w.]+)\s*=\s*(?P<op>\w+)\s*(?P<operands>.*?)"
+    r"\s*!(?P<dtype>\w+)$"
+)
+_STORE_RE = re.compile(
+    r"^store\s+(?P<operands>.*?)\s*!(?P<dtype>\w+)$"
+)
+_BR_RE = re.compile(
+    r"^br\s+(?P<cond>\S+),\s*(?P<true>[\w.]+),\s*(?P<false>[\w.]+)$"
+)
+_JMP_RE = re.compile(r"^jmp\s+(?P<target>[\w.]+)$")
+
+
+# ----------------------------------------------------------------------
+# Disassembly
+# ----------------------------------------------------------------------
+def _operand_to_text(operand: Operand) -> str:
+    if isinstance(operand, Reg):
+        return f"%{operand.name}"
+    value = operand.value
+    if operand.dtype is DType.PRED:
+        return "#true" if value else "#false"
+    if operand.dtype is DType.FLOAT:
+        text = repr(float(value))
+        return f"#{text}"
+    return f"#{int(value)}"
+
+
+def kernel_to_text(kernel: Kernel) -> str:
+    """Render ``kernel`` in the textual format."""
+    float_params = [
+        p for p in kernel.params if kernel.param_dtypes[p] is DType.FLOAT
+    ]
+    header = f"kernel {kernel.name}({', '.join(kernel.params)})"
+    if float_params:
+        header += f" float({', '.join(float_params)})"
+    lines = [header]
+    # Entry block first, the rest in declaration order.
+    names = [kernel.entry] + [n for n in kernel.blocks if n != kernel.entry]
+    for name in names:
+        block = kernel.blocks[name]
+        lines.append(f"{name}:")
+        for instr in block.instrs:
+            operands = ", ".join(_operand_to_text(s) for s in instr.srcs)
+            dtype = f" !{instr.dtype.value}" if instr.dtype else " !int"
+            if instr.op is Op.STORE:
+                lines.append(f"  store {operands}{dtype}")
+            else:
+                lines.append(
+                    f"  %{instr.dst} = {instr.op.value} {operands}{dtype}"
+                )
+        term = block.terminator
+        if term.kind is TermKind.RET:
+            lines.append("  ret")
+        elif term.kind is TermKind.JMP:
+            lines.append(f"  jmp {term.true_target}")
+        else:
+            lines.append(
+                f"  br {_operand_to_text(term.cond)}, "
+                f"{term.true_target}, {term.false_target}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+def _parse_operand(text: str, line_no: int) -> Operand:
+    text = text.strip()
+    if text.startswith("%"):
+        return Reg(text[1:])
+    if text.startswith("#"):
+        body = text[1:]
+        if body == "true":
+            return Imm(True, DType.PRED)
+        if body == "false":
+            return Imm(False, DType.PRED)
+        if re.fullmatch(r"-?\d+", body):
+            return Imm(int(body), DType.INT)
+        try:
+            return Imm(float(body), DType.FLOAT)
+        except ValueError:
+            raise ParseError(line_no, f"bad immediate {text!r}") from None
+    raise ParseError(line_no, f"bad operand {text!r}")
+
+
+def _split_operands(text: str, line_no: int) -> List[Operand]:
+    text = text.strip()
+    if not text:
+        return []
+    return [_parse_operand(part, line_no) for part in text.split(",")]
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse the textual format back into a validated kernel."""
+    lines = text.splitlines()
+    header: Optional[re.Match] = None
+    blocks: Dict[str, BasicBlock] = {}
+    current: Optional[BasicBlock] = None
+    entry: Optional[str] = None
+
+    for idx, raw in enumerate(lines, start=1):
+        line = raw.split(";")[0].strip()  # ';' starts a comment
+        if not line:
+            continue
+        if header is None:
+            header = _HEADER_RE.match(line)
+            if header is None:
+                raise ParseError(idx, "expected 'kernel name(params...)'")
+            continue
+
+        label = _LABEL_RE.match(line)
+        if label:
+            name = label.group("label")
+            if name in blocks:
+                raise ParseError(idx, f"duplicate block {name!r}")
+            current = BasicBlock(name)
+            blocks[name] = current
+            if entry is None:
+                entry = name
+            continue
+
+        if current is None:
+            raise ParseError(idx, "instruction outside any block")
+        if current.terminator is not None:
+            raise ParseError(idx, f"block {current.name!r} already terminated")
+
+        if line == "ret":
+            current.terminator = Terminator.ret()
+            continue
+        m = _JMP_RE.match(line)
+        if m:
+            current.terminator = Terminator.jmp(m.group("target"))
+            continue
+        m = _BR_RE.match(line)
+        if m:
+            current.terminator = Terminator.br(
+                _parse_operand(m.group("cond"), idx),
+                m.group("true"), m.group("false"),
+            )
+            continue
+        m = _STORE_RE.match(line)
+        if m:
+            dtype = _DTYPE_NAMES.get(m.group("dtype"))
+            if dtype is None:
+                raise ParseError(idx, f"unknown dtype {m.group('dtype')!r}")
+            operands = _split_operands(m.group("operands"), idx)
+            current.append(Instr(Op.STORE, None, tuple(operands), dtype))
+            continue
+        m = _ASSIGN_RE.match(line)
+        if m:
+            op = _OP_NAMES.get(m.group("op"))
+            if op is None:
+                raise ParseError(idx, f"unknown opcode {m.group('op')!r}")
+            dtype = _DTYPE_NAMES.get(m.group("dtype"))
+            if dtype is None:
+                raise ParseError(idx, f"unknown dtype {m.group('dtype')!r}")
+            operands = _split_operands(m.group("operands"), idx)
+            current.append(Instr(op, m.group("dst"), tuple(operands), dtype))
+            continue
+        raise ParseError(idx, f"unrecognised line: {line!r}")
+
+    if header is None:
+        raise ParseError(len(lines), "empty input")
+    if entry is None:
+        raise ParseError(len(lines), "kernel has no blocks")
+
+    params = [p.strip() for p in header.group("params").split(",") if p.strip()]
+    float_params = {
+        p.strip()
+        for p in (header.group("floats") or "").split(",")
+        if p.strip()
+    }
+    unknown = float_params - set(params)
+    if unknown:
+        raise ParseError(1, f"float() names unknown params: {sorted(unknown)}")
+    kernel = Kernel(
+        name=header.group("name"),
+        params=params,
+        blocks=blocks,
+        entry=entry,
+        param_dtypes={
+            p: (DType.FLOAT if p in float_params else DType.INT)
+            for p in params
+        },
+    )
+    validate_kernel(kernel)
+    return kernel

@@ -1,0 +1,25 @@
+"""Benchmark kernels: Rodinia-like suite (paper Table 2) plus synthetics."""
+
+from repro.kernels.base import SCALES, Workload, pick
+from repro.kernels.synthetic import (
+    fig1_kernel,
+    fig1_reference,
+    loop_sum_kernel,
+    loop_sum_reference,
+    make_fig1_workload,
+    memcopy_kernel,
+    saxpy_kernel,
+)
+
+__all__ = [
+    "SCALES",
+    "Workload",
+    "fig1_kernel",
+    "fig1_reference",
+    "loop_sum_kernel",
+    "loop_sum_reference",
+    "make_fig1_workload",
+    "memcopy_kernel",
+    "pick",
+    "saxpy_kernel",
+]

@@ -1,0 +1,182 @@
+"""BFS — breadth-first search (Rodinia), paper Table 2.
+
+Two kernels per level, exactly as in Rodinia's ``bfs/kernel.cu``:
+
+* ``Kernel`` (paper: 8 basic blocks) expands the current frontier: each
+  frontier node relaxes its unvisited neighbours and marks them in the
+  updating mask;
+* ``Kernel2`` (paper: 3 basic blocks) commits the updating mask into the
+  frontier mask and the visited set, and raises the not-done flag.
+
+The graph is CSR (row_ptr/col).  Launches are race-free: ``Kernel``
+writes ``cost``/``umask`` only at unvisited nodes (all writers agree on
+the value since the frontier is one BFS level), and ``Kernel2`` touches
+only thread-private indices.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ir import DType, Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+
+def bfs_kernel1() -> Kernel:
+    kb = KernelBuilder(
+        "bfs_kernel",
+        params=["row_ptr", "col", "mask", "visited", "umask", "cost", "n"],
+    )
+    t = kb.tid()
+    with kb.if_(t < kb.param("n")):
+        m = kb.load(kb.param("mask") + t, DType.INT)
+        with kb.if_(m == 1):
+            kb.store(kb.param("mask") + t, 0)
+            my_cost = kb.load(kb.param("cost") + t, DType.INT)
+            start = kb.load(kb.param("row_ptr") + t, DType.INT)
+            end = kb.load(kb.param("row_ptr") + t + 1, DType.INT)
+            with kb.for_range(start, end, name="edge") as i:
+                nb = kb.load(kb.param("col") + i, DType.INT)
+                vis = kb.load(kb.param("visited") + nb, DType.INT)
+                with kb.if_(vis == 0):
+                    kb.store(kb.param("cost") + nb, my_cost + 1)
+                    kb.store(kb.param("umask") + nb, 1)
+    return kb.build()
+
+
+def bfs_kernel2() -> Kernel:
+    kb = KernelBuilder(
+        "bfs_kernel2", params=["mask", "visited", "umask", "over", "n"]
+    )
+    t = kb.tid()
+    with kb.if_(t < kb.param("n")):
+        u = kb.load(kb.param("umask") + t, DType.INT)
+        with kb.if_(u == 1):
+            kb.store(kb.param("mask") + t, 1)
+            kb.store(kb.param("visited") + t, 1)
+            kb.store(kb.param("over"), 1)
+            kb.store(kb.param("umask") + t, 0)
+    return kb.build()
+
+
+def random_csr_graph(n: int, avg_degree: int, seed: int
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """A random directed graph in CSR form."""
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(avg_degree, n).clip(0, 4 * avg_degree)
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    row_ptr[1:] = np.cumsum(degrees)
+    col = rng.integers(0, n, row_ptr[-1])
+    return row_ptr, col
+
+
+def _frontier_state(row_ptr, col, source: int, level: int):
+    """Mask/visited/cost arrays after ``level`` completed BFS levels."""
+    n = len(row_ptr) - 1
+    cost = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=np.int64)
+    cost[source] = 0
+    visited[source] = 1
+    frontier = np.array([source])
+    for _ in range(level):
+        nxt = []
+        for u in frontier:
+            for e in range(row_ptr[u], row_ptr[u + 1]):
+                v = col[e]
+                if not visited[v]:
+                    visited[v] = 1
+                    cost[v] = cost[u] + 1
+                    nxt.append(v)
+        frontier = np.unique(np.array(nxt, dtype=np.int64))
+        if len(frontier) == 0:
+            break
+    mask = np.zeros(n, dtype=np.int64)
+    mask[frontier] = 1
+    return mask, visited, cost
+
+
+def make_kernel1_workload(scale: str = "small", seed: int = 11) -> Workload:
+    """One frontier-expansion launch on a random graph."""
+    n = pick(scale, 256, 4096, 16384)
+    row_ptr, col = random_csr_graph(n, avg_degree=4, seed=seed)
+    mask, visited, cost = _frontier_state(row_ptr, col, source=0, level=1)
+
+    mem = MemoryImage(int(row_ptr[-1]) + 6 * n + 64)
+    b_rp = mem.alloc_array("row_ptr", row_ptr)
+    b_col = mem.alloc_array("col", col)
+    b_mask = mem.alloc_array("mask", mask)
+    b_vis = mem.alloc_array("visited", visited)
+    b_umask = mem.alloc_array("umask", np.zeros(n))
+    b_cost = mem.alloc_array("cost", cost)
+
+    # Golden model of one launch.
+    e_mask = mask.copy()
+    e_umask = np.zeros(n, dtype=np.int64)
+    e_cost = cost.copy()
+    for t in range(n):
+        if mask[t] == 1:
+            e_mask[t] = 0
+            for e in range(row_ptr[t], row_ptr[t + 1]):
+                v = col[e]
+                if visited[v] == 0:
+                    e_cost[v] = cost[t] + 1
+                    e_umask[v] = 1
+
+    return Workload(
+        name="bfs/Kernel",
+        app="BFS",
+        kernel=bfs_kernel1(),
+        memory=mem,
+        params={
+            "row_ptr": b_rp, "col": b_col, "mask": b_mask,
+            "visited": b_vis, "umask": b_umask, "cost": b_cost, "n": n,
+        },
+        n_threads=n,
+        expected={
+            "mask": e_mask.astype(float),
+            "umask": e_umask.astype(float),
+            "cost": e_cost.astype(float),
+        },
+        paper_blocks=8,
+    )
+
+
+def make_kernel2_workload(scale: str = "small", seed: int = 12) -> Workload:
+    """One frontier-commit launch."""
+    n = pick(scale, 256, 4096, 16384)
+    rng = np.random.default_rng(seed)
+    umask = (rng.uniform(size=n) < 0.3).astype(np.int64)
+    mask = np.zeros(n, dtype=np.int64)
+    visited = (rng.uniform(size=n) < 0.5).astype(np.int64)
+
+    mem = MemoryImage(4 * n + 64)
+    b_mask = mem.alloc_array("mask", mask)
+    b_vis = mem.alloc_array("visited", visited)
+    b_umask = mem.alloc_array("umask", umask)
+    b_over = mem.alloc_array("over", [0.0])
+
+    e_mask = np.where(umask == 1, 1, mask)
+    e_vis = np.where(umask == 1, 1, visited)
+    e_over = np.array([1.0 if umask.any() else 0.0])
+
+    return Workload(
+        name="bfs/Kernel2",
+        app="BFS",
+        kernel=bfs_kernel2(),
+        memory=mem,
+        params={
+            "mask": b_mask, "visited": b_vis, "umask": b_umask,
+            "over": b_over, "n": n,
+        },
+        n_threads=n,
+        expected={
+            "mask": e_mask.astype(float),
+            "visited": e_vis.astype(float),
+            "umask": np.zeros(n),
+            "over": e_over,
+        },
+        paper_blocks=3,
+    )

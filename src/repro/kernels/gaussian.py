@@ -1,0 +1,110 @@
+"""GE — Gaussian elimination ``Fan1``/``Fan2`` (Rodinia), paper Table 2:
+2 and 5 basic blocks.
+
+One elimination step ``t``: ``Fan1`` computes the multiplier column
+``m[:, t]``; ``Fan2`` applies it to the trailing submatrix and, on the
+first column, to the right-hand side.  Both kernels are race-free within
+one launch (each thread owns its output cells; the pivot row/column read
+by every thread is not written during the step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+
+def fan1_kernel() -> Kernel:
+    kb = KernelBuilder("Fan1", params=["a", "m", "size", "t"])
+    i = kb.tid()
+    size = kb.param("size")
+    t = kb.param("t")
+    with kb.if_(i < size - 1 - t):
+        idx = size * (t + 1 + i) + t
+        pivot = kb.load(kb.param("a") + size * t + t)
+        kb.store(kb.param("m") + idx, kb.load(kb.param("a") + idx) / pivot)
+    return kb.build()
+
+
+def fan2_kernel() -> Kernel:
+    kb = KernelBuilder("Fan2", params=["a", "b", "m", "size", "t"])
+    i = kb.tid()
+    size = kb.param("size")
+    t = kb.param("t")
+    width = size - t
+    with kb.if_(i < (size - 1 - t) * width):
+        row = i // width
+        col = i % width
+        xidx = row + 1 + t
+        yidx = col + t
+        mult = kb.load(kb.param("m") + size * xidx + t)
+        aval = kb.load(kb.param("a") + size * xidx + yidx)
+        pivot = kb.load(kb.param("a") + size * t + yidx)
+        kb.store(kb.param("a") + size * xidx + yidx, aval - mult * pivot)
+        with kb.if_(yidx == t):
+            bval = kb.load(kb.param("b") + xidx)
+            bt = kb.load(kb.param("b") + t)
+            kb.store(kb.param("b") + xidx, bval - mult * bt)
+    return kb.build()
+
+
+def _setup(scale: str, seed: int):
+    size = pick(scale, 16, 64, 128)
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(1.0, 2.0, (size, size)) + np.eye(size) * size
+    b = rng.uniform(0.0, 1.0, size)
+    t = 1  # one mid-stream elimination step
+    return size, a, b, t
+
+
+def make_fan1_workload(scale: str = "small", seed: int = 41) -> Workload:
+    size, a, b, t = _setup(scale, seed)
+    m = np.zeros((size, size))
+    mem = MemoryImage(2 * size * size + size + 64)
+    b_a = mem.alloc_array("a", a.ravel())
+    b_m = mem.alloc_array("m", m.ravel())
+
+    e_m = m.copy()
+    e_m[t + 1:, t] = a[t + 1:, t] / a[t, t]
+
+    return Workload(
+        name="gaussian/Fan1",
+        app="GE",
+        kernel=fan1_kernel(),
+        memory=mem,
+        params={"a": b_a, "m": b_m, "size": size, "t": t},
+        n_threads=size - 1 - t,
+        expected={"m": e_m.ravel()},
+        paper_blocks=2,
+    )
+
+
+def make_fan2_workload(scale: str = "small", seed: int = 42) -> Workload:
+    size, a, b, t = _setup(scale, seed)
+    m = np.zeros((size, size))
+    m[t + 1:, t] = a[t + 1:, t] / a[t, t]
+
+    mem = MemoryImage(2 * size * size + 2 * size + 64)
+    b_a = mem.alloc_array("a", a.ravel())
+    b_b = mem.alloc_array("b", b)
+    b_m = mem.alloc_array("m", m.ravel())
+
+    e_a = a.copy()
+    e_b = b.copy()
+    e_a[t + 1:, t:] -= np.outer(m[t + 1:, t], a[t, t:])
+    e_b[t + 1:] -= m[t + 1:, t] * b[t]
+
+    n_threads = (size - 1 - t) * (size - t)
+    return Workload(
+        name="gaussian/Fan2",
+        app="GE",
+        kernel=fan2_kernel(),
+        memory=mem,
+        params={"a": b_a, "b": b_b, "m": b_m, "size": size, "t": t},
+        n_threads=n_threads,
+        expected={"a": e_a.ravel(), "b": e_b},
+        paper_blocks=5,
+    )

@@ -1,0 +1,54 @@
+"""KMEANS — ``invert_mapping`` (Rodinia), paper Table 2: 3 basic blocks.
+
+Transposes the point-major feature matrix into feature-major layout so
+the clustering phase reads coalesced columns.  One thread per point,
+looping over that point's features — a purely data-movement kernel with
+a uniform (non-divergent) loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+
+def invert_mapping_kernel() -> Kernel:
+    kb = KernelBuilder(
+        "invert_mapping", params=["input", "output", "npoints", "nfeatures"]
+    )
+    t = kb.tid()
+    npoints = kb.param("npoints")
+    with kb.if_(t < npoints):
+        base_in = kb.param("input") + t * kb.param("nfeatures")
+        with kb.for_range(0, kb.param("nfeatures"), name="feat") as j:
+            v = kb.load(base_in + j)
+            kb.store(kb.param("output") + j * npoints + t, v)
+    return kb.build()
+
+
+def make_workload(scale: str = "small", seed: int = 21) -> Workload:
+    npoints = pick(scale, 256, 4096, 16384)
+    nfeatures = 8
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(npoints, nfeatures))
+
+    mem = MemoryImage(2 * npoints * nfeatures + 64)
+    b_in = mem.alloc_array("input", points.ravel())
+    b_out = mem.alloc("output", npoints * nfeatures)
+
+    return Workload(
+        name="kmeans/invert_mapping",
+        app="KMEANS",
+        kernel=invert_mapping_kernel(),
+        memory=mem,
+        params={
+            "input": b_in, "output": b_out,
+            "npoints": npoints, "nfeatures": nfeatures,
+        },
+        n_threads=npoints,
+        expected={"output": points.T.ravel()},
+        paper_blocks=3,
+    )

@@ -1,0 +1,137 @@
+"""LAVAMD — particle potential/force (Rodinia), paper Table 2:
+21 basic blocks.
+
+Particles live in boxes; each thread owns one particle, loops over its
+box's neighbour list, and over every particle of each neighbour box,
+accumulating a 4-component force with the Rodinia pairwise kernel
+``fs = 2·exp(-a2·r²)``.  The two-level loop plus the neighbour-validity
+branch give the kernel its deep control-flow nest; the exponential makes
+it SCU-heavy — together the archetype of the "computational kernels"
+where the paper reports the largest VGIW gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import DType, Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+A2 = 0.5          # 2 * alpha^2 in Rodinia terms
+NEIGHBORS = 8     # neighbour boxes per box (incl. self)
+
+
+def lavamd_kernel() -> Kernel:
+    kb = KernelBuilder(
+        "kernel_gpu_cuda",
+        params=["pos", "charge", "nei", "counts", "force", "n_particles",
+                "per_box"],
+    )
+    t = kb.tid()
+    per_box = kb.param("per_box")
+    with kb.if_(t < kb.param("n_particles")):
+        box = t // per_box
+        px = kb.load(kb.param("pos") + 3 * t)
+        py = kb.load(kb.param("pos") + 3 * t + 1)
+        pz = kb.load(kb.param("pos") + 3 * t + 2)
+
+        fx = kb.var("fx", 0.0)
+        fy = kb.var("fy", 0.0)
+        fz = kb.var("fz", 0.0)
+        fw = kb.var("fw", 0.0)
+
+        with kb.for_range(0, NEIGHBORS, name="nbox") as j:
+            nb_box = kb.load(kb.param("nei") + box * NEIGHBORS + j, DType.INT)
+            with kb.if_(nb_box >= 0):
+                first = nb_box * per_box
+                # The number of occupied slots varies per box, exactly as
+                # in Rodinia (boxes are rarely full): a runtime loop bound.
+                cnt = kb.load(kb.param("counts") + nb_box, DType.INT)
+                with kb.for_range(0, cnt, name="pk") as k:
+                    o = first + k
+                    qx = kb.load(kb.param("pos") + 3 * o)
+                    qy = kb.load(kb.param("pos") + 3 * o + 1)
+                    qz = kb.load(kb.param("pos") + 3 * o + 2)
+                    q = kb.load(kb.param("charge") + o)
+                    dx = px - qx
+                    dy = py - qy
+                    dz = pz - qz
+                    r2 = dx * dx + dy * dy + dz * dz
+                    vij = kb.exp(-A2 * r2)
+                    fs = 2.0 * vij * q
+                    kb.assign(fw, fw + q * vij)
+                    kb.assign(fx, fx + fs * dx)
+                    kb.assign(fy, fy + fs * dy)
+                    kb.assign(fz, fz + fs * dz)
+
+        kb.store(kb.param("force") + 4 * t, fx)
+        kb.store(kb.param("force") + 4 * t + 1, fy)
+        kb.store(kb.param("force") + 4 * t + 2, fz)
+        kb.store(kb.param("force") + 4 * t + 3, fw)
+    return kb.build()
+
+
+def lavamd_reference(pos, charge, nei, counts, per_box) -> np.ndarray:
+    n = len(charge)
+    force = np.zeros((n, 4))
+    for t in range(n):
+        box = t // per_box
+        acc = np.zeros(4)
+        for j in range(NEIGHBORS):
+            nb_box = int(nei[box, j])
+            if nb_box < 0:
+                continue
+            for k in range(int(counts[nb_box])):
+                o = nb_box * per_box + k
+                d = pos[t] - pos[o]
+                r2 = float(d @ d)
+                vij = np.exp(-A2 * r2)
+                fs = 2.0 * vij * charge[o]
+                acc[3] += charge[o] * vij
+                acc[0] += fs * d[0]
+                acc[1] += fs * d[1]
+                acc[2] += fs * d[2]
+        force[t] = acc[[0, 1, 2, 3]]
+    return force
+
+
+def make_workload(scale: str = "small", seed: int = 71) -> Workload:
+    per_box = pick(scale, 4, 8, 16)
+    n_boxes = pick(scale, 8, 128, 512)
+    n = per_box * n_boxes
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0.0, 2.0, (n, 3))
+    charge = rng.uniform(0.1, 1.0, n)
+    # Each box sees ~NEIGHBORS-1 random other boxes plus itself; a few
+    # entries are invalid (-1) to mirror edge boxes.
+    nei = rng.integers(0, n_boxes, (n_boxes, NEIGHBORS))
+    nei[:, 0] = np.arange(n_boxes)  # self
+    invalid = rng.uniform(size=(n_boxes, NEIGHBORS)) < 0.2
+    invalid[:, 0] = False
+    nei = np.where(invalid, -1, nei)
+    counts = rng.integers(max(1, per_box // 2), per_box + 1, n_boxes)
+
+    mem = MemoryImage(3 * n + n + n_boxes * (NEIGHBORS + 1) + 4 * n + 64)
+    b_pos = mem.alloc_array("pos", pos.ravel())
+    b_q = mem.alloc_array("charge", charge)
+    b_nei = mem.alloc_array("nei", nei.ravel())
+    b_cnt = mem.alloc_array("counts", counts)
+    b_force = mem.alloc("force", 4 * n)
+
+    return Workload(
+        name="lavamd/kernel_gpu_cuda",
+        app="LAVAMD",
+        kernel=lavamd_kernel(),
+        memory=mem,
+        params={
+            "pos": b_pos, "charge": b_q, "nei": b_nei, "counts": b_cnt,
+            "force": b_force, "n_particles": n, "per_box": per_box,
+        },
+        n_threads=n,
+        expected={
+            "force": lavamd_reference(pos, charge, nei, counts,
+                                      per_box).ravel()
+        },
+        paper_blocks=21,
+    )

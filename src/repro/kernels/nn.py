@@ -1,0 +1,58 @@
+"""NN — ``euclid`` (Rodinia k-nearest-neighbours), paper Table 2:
+2 basic blocks.
+
+Each thread computes the Euclidean distance from one record's
+(latitude, longitude) to the query point: a small, convergent,
+FP-and-sqrt kernel — the archetype of SGMF/VGIW-friendly code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+
+def euclid_kernel() -> Kernel:
+    kb = KernelBuilder("euclid", params=["locations", "distances", "n", "lat", "lng"])
+    t = kb.tid()
+    with kb.if_(t < kb.param("n")):
+        lat_v = kb.load(kb.param("locations") + 2 * t)
+        lng_v = kb.load(kb.param("locations") + 2 * t + 1)
+        dlat = kb.fparam("lat") - lat_v
+        dlng = kb.fparam("lng") - lng_v
+        kb.store(
+            kb.param("distances") + t, kb.sqrt(dlat * dlat + dlng * dlng)
+        )
+    return kb.build()
+
+
+def make_workload(scale: str = "small", seed: int = 31) -> Workload:
+    n = pick(scale, 256, 4096, 16384)
+    rng = np.random.default_rng(seed)
+    lats = rng.uniform(0.0, 90.0, n)
+    lngs = rng.uniform(0.0, 180.0, n)
+    locations = np.column_stack([lats, lngs]).ravel()
+    lat, lng = 30.0, 90.0
+
+    mem = MemoryImage(3 * n + 64)
+    b_loc = mem.alloc_array("locations", locations)
+    b_dist = mem.alloc("distances", n)
+
+    return Workload(
+        name="nn/euclid",
+        app="NN",
+        kernel=euclid_kernel(),
+        memory=mem,
+        params={
+            "locations": b_loc, "distances": b_dist,
+            "n": n, "lat": lat, "lng": lng,
+        },
+        n_threads=n,
+        expected={
+            "distances": np.sqrt((lat - lats) ** 2 + (lng - lngs) ** 2)
+        },
+        paper_blocks=2,
+    )

@@ -1,0 +1,58 @@
+"""PF — particle filter ``normalize_weights_kernel`` (Rodinia), paper
+Table 2: 5 basic blocks.
+
+Normalises every particle's weight by the pre-reduced weight sum, and
+thread 0 additionally seeds the systematic-resampling offset ``u[0]``
+(Rodinia computes the sum reduction in a prior kernel; it arrives here
+as the ``sum_weights`` parameter)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+
+def normalize_weights_kernel() -> Kernel:
+    kb = KernelBuilder(
+        "normalize_weights_kernel",
+        params=["weights", "u", "sum_weights", "u1", "n"],
+    )
+    i = kb.tid()
+    with kb.if_(i < kb.param("n")):
+        w = kb.load(kb.param("weights") + i)
+        kb.store(kb.param("weights") + i, w / kb.fparam("sum_weights"))
+        with kb.if_(i == 0):
+            kb.store(kb.param("u"), kb.fparam("u1") / kb.i2f(kb.param("n")))
+    return kb.build()
+
+
+def make_workload(scale: str = "small", seed: int = 81) -> Workload:
+    n = pick(scale, 256, 4096, 16384)
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.1, 1.0, n)
+    sum_weights = float(weights.sum())
+    u1 = float(rng.uniform())
+
+    mem = MemoryImage(n + 64)
+    b_w = mem.alloc_array("weights", weights)
+    b_u = mem.alloc_array("u", [0.0])
+
+    return Workload(
+        name="particlefilter/normalize_weights",
+        app="PF",
+        kernel=normalize_weights_kernel(),
+        memory=mem,
+        params={
+            "weights": b_w, "u": b_u, "sum_weights": sum_weights,
+            "u1": u1, "n": n,
+        },
+        n_threads=n,
+        expected={
+            "weights": weights / sum_weights,
+            "u": np.array([u1 / n]),
+        },
+        paper_blocks=5,
+    )

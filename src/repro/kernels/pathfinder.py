@@ -1,0 +1,76 @@
+"""PATHFINDER — grid dynamic programming (Rodinia).
+
+*Beyond Table 2*: another Rodinia staple.  Each thread owns one column;
+one launch advances the DP one row (Rodinia's in-kernel pyramid loop
+needs barriers, so the host loops over rows, as with NW):
+
+    result[c] = wall[r, c] + min(prev[c-1], prev[c], prev[c+1])
+
+with border clamps — three-way minimum through if/else chains, making
+it a clean pure-int divergence microbenchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import DType, Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+
+def pathfinder_kernel() -> Kernel:
+    kb = KernelBuilder(
+        "dynproc_kernel", params=["wall_row", "prev", "result", "cols"]
+    )
+    c = kb.tid()
+    cols = kb.param("cols")
+    with kb.if_(c < cols):
+        best = kb.var("best", dtype=DType.INT)
+        kb.assign(best, kb.load(kb.param("prev") + c, DType.INT))
+        with kb.if_(c > 0):
+            left = kb.load(kb.param("prev") + c - 1, DType.INT)
+            with kb.if_(left < best):
+                kb.assign(best, left)
+        with kb.if_(c < cols - 1):
+            right = kb.load(kb.param("prev") + c + 1, DType.INT)
+            with kb.if_(right < best):
+                kb.assign(best, right)
+        wall = kb.load(kb.param("wall_row") + c, DType.INT)
+        kb.store(kb.param("result") + c, wall + best)
+    return kb.build()
+
+
+def pathfinder_row_reference(wall_row: np.ndarray,
+                             prev: np.ndarray) -> np.ndarray:
+    left = np.concatenate([prev[:1], prev[:-1]])
+    right = np.concatenate([prev[1:], prev[-1:]])
+    return wall_row + np.minimum(prev, np.minimum(left, right))
+
+
+def make_workload(scale: str = "small", seed: int = 141) -> Workload:
+    cols = pick(scale, 256, 4096, 16384)
+    rng = np.random.default_rng(seed)
+    wall_row = rng.integers(0, 10, cols)
+    prev = rng.integers(0, 50, cols)
+
+    mem = MemoryImage(3 * cols + 64)
+    b_wall = mem.alloc_array("wall_row", wall_row)
+    b_prev = mem.alloc_array("prev", prev)
+    b_res = mem.alloc("result", cols)
+
+    return Workload(
+        name="pathfinder/dynproc_kernel",
+        app="PATHFINDER",
+        kernel=pathfinder_kernel(),
+        memory=mem,
+        params={"wall_row": b_wall, "prev": b_prev, "result": b_res,
+                "cols": cols},
+        n_threads=cols,
+        expected={
+            "result": pathfinder_row_reference(
+                wall_row.astype(float), prev.astype(float)
+            )
+        },
+        paper_blocks=0,  # beyond Table 2
+    )

@@ -1,0 +1,126 @@
+"""Benchmark registry: the paper's Table 2 as code.
+
+``TABLE2`` lists every application/kernel the paper evaluates, with its
+domain, description, and the basic-block count the paper reports.
+``make_workload(name, scale)`` instantiates any of them; ``all_names()``
+is the canonical evaluation order used by every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.kernels import (
+    backprop,
+    bfs,
+    cfd,
+    gaussian,
+    hotspot,
+    kmeans,
+    lavamd,
+    lud,
+    nn,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+    streamcluster,
+)
+from repro.kernels.base import Workload
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One row of the paper's Table 2."""
+
+    name: str            # registry key, e.g. "bfs/Kernel"
+    app: str             # application name as in Table 2
+    domain: str          # application domain as in Table 2
+    description: str     # one-line description as in Table 2
+    paper_blocks: int    # (#basic blocks) from Table 2
+    factory: Callable[[str], Workload]
+
+
+TABLE2: List[BenchmarkEntry] = [
+    BenchmarkEntry("bfs/Kernel", "BFS", "Graph Algorithms",
+                   "Breadth-first search", 8, bfs.make_kernel1_workload),
+    BenchmarkEntry("bfs/Kernel2", "BFS", "Graph Algorithms",
+                   "Breadth-first search", 3, bfs.make_kernel2_workload),
+    BenchmarkEntry("kmeans/invert_mapping", "KMEANS", "Data Mining",
+                   "Clustering algorithm", 3, kmeans.make_workload),
+    BenchmarkEntry("cfd/compute_step_factor", "CFD", "Fluid Dynamics",
+                   "Computational fluid dynamics solver", 2,
+                   cfd.make_step_factor_workload),
+    BenchmarkEntry("cfd/initialize_variables", "CFD", "Fluid Dynamics",
+                   "Computational fluid dynamics solver", 1,
+                   cfd.make_initialize_workload),
+    BenchmarkEntry("cfd/time_step", "CFD", "Fluid Dynamics",
+                   "Computational fluid dynamics solver", 1,
+                   cfd.make_time_step_workload),
+    BenchmarkEntry("cfd/compute_flux", "CFD", "Fluid Dynamics",
+                   "Computational fluid dynamics solver", 12,
+                   cfd.make_compute_flux_workload),
+    BenchmarkEntry("lud/lud_internal", "LUD", "Linear Algebra",
+                   "Matrix decomposition", 3, lud.make_internal_workload),
+    BenchmarkEntry("lud/lud_diagonal", "LUD", "Linear Algebra",
+                   "Matrix decomposition", 11, lud.make_diagonal_workload),
+    BenchmarkEntry("lud/lud_perimeter", "LUD", "Linear Algebra",
+                   "Matrix decomposition", 22, lud.make_perimeter_workload),
+    BenchmarkEntry("gaussian/Fan1", "GE", "Linear Algebra",
+                   "Gaussian elimination", 2, gaussian.make_fan1_workload),
+    BenchmarkEntry("gaussian/Fan2", "GE", "Linear Algebra",
+                   "Gaussian elimination", 5, gaussian.make_fan2_workload),
+    BenchmarkEntry("hotspot/hotspot_kernel", "HOTSPOT", "Physics Simulation",
+                   "Thermal simulation tool", 27, hotspot.make_workload),
+    BenchmarkEntry("lavamd/kernel_gpu_cuda", "LAVAMD", "Molecular Dynamics",
+                   "Calculation of particle position", 21,
+                   lavamd.make_workload),
+    BenchmarkEntry("nn/euclid", "NN", "Data Mining",
+                   "K nearest neighbors", 2, nn.make_workload),
+    BenchmarkEntry("particlefilter/normalize_weights", "PF", "Medical Imaging",
+                   "Particle filter (target estimator)", 5,
+                   particlefilter.make_workload),
+    BenchmarkEntry("backprop/adjust_weights", "BPNN", "Pattern Recognition",
+                   "Training of a neural network", 3,
+                   backprop.make_adjust_weights_workload),
+    BenchmarkEntry("backprop/layerforward", "BPNN", "Pattern Recognition",
+                   "Training of a neural network", 20,
+                   backprop.make_layerforward_workload),
+    BenchmarkEntry("nw/needle_cuda_shared_1", "NW", "Bioinformatics",
+                   "Comparing biological sequences", 13,
+                   nw.make_needle1_workload),
+    BenchmarkEntry("nw/needle_cuda_shared_2", "NW", "Bioinformatics",
+                   "Comparing biological sequences", 13,
+                   nw.make_needle2_workload),
+    BenchmarkEntry("streamcluster/compute_cost", "SM", "Data Mining",
+                   "Clustering algorithm", 6, streamcluster.make_workload),
+]
+
+#: Extra Rodinia workloads beyond the paper's Table 2 (excluded from the
+#: paper-reproduction figures, included in tests and characterisation).
+EXTRAS: List[BenchmarkEntry] = [
+    BenchmarkEntry("srad/srad_kernel", "SRAD", "Image Processing",
+                   "Speckle reducing anisotropic diffusion (extra)", 0,
+                   srad.make_workload),
+    BenchmarkEntry("pathfinder/dynproc_kernel", "PATHFINDER",
+                   "Grid Traversal", "Dynamic programming (extra)", 0,
+                   pathfinder.make_workload),
+]
+
+_BY_NAME: Dict[str, BenchmarkEntry] = {e.name: e for e in TABLE2 + EXTRAS}
+
+
+def all_names(include_extras: bool = False) -> List[str]:
+    """Registry keys in canonical evaluation order."""
+    entries = TABLE2 + EXTRAS if include_extras else TABLE2
+    return [e.name for e in entries]
+
+
+def entry(name: str) -> BenchmarkEntry:
+    return _BY_NAME[name]
+
+
+def make_workload(name: str, scale: str = "small") -> Workload:
+    """Instantiate a workload by its registry key."""
+    return _BY_NAME[name].factory(scale)

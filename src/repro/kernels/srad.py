@@ -1,0 +1,116 @@
+"""SRAD — speckle-reducing anisotropic diffusion (Rodinia).
+
+*Beyond Table 2*: the paper's evaluation list does not include SRAD, but
+it is a Rodinia staple (and appears in the SGMF paper's suite), so it
+ships as an extra workload: a border-clamped stencil like HOTSPOT but
+far heavier on divisions — an SCU stress test with real divergence.
+
+``srad_kernel`` is Rodinia's first kernel: per cell, four directional
+derivatives (border-clamped through if/else chains), the instantaneous
+coefficient of variation, and the clamped diffusion coefficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+Q0 = 0.05  # speckle scale (host-computed in Rodinia; a launch constant)
+
+
+def srad_kernel() -> Kernel:
+    kb = KernelBuilder(
+        "srad_kernel", params=["image", "coeff", "rows", "cols"]
+    )
+    t = kb.tid()
+    rows = kb.param("rows")
+    cols = kb.param("cols")
+    with kb.if_(t < rows * cols):
+        r = t // cols
+        c = t % cols
+        jc = kb.load(kb.param("image") + t)
+
+        north = kb.var("north", 0.0)
+        with kb.if_(r == 0):
+            kb.assign(north, jc)
+        with kb.else_():
+            kb.assign(north, kb.load(kb.param("image") + t - cols))
+        south = kb.var("south", 0.0)
+        with kb.if_(r == rows - 1):
+            kb.assign(south, jc)
+        with kb.else_():
+            kb.assign(south, kb.load(kb.param("image") + t + cols))
+        west = kb.var("west", 0.0)
+        with kb.if_(c == 0):
+            kb.assign(west, jc)
+        with kb.else_():
+            kb.assign(west, kb.load(kb.param("image") + t - 1))
+        east = kb.var("east", 0.0)
+        with kb.if_(c == cols - 1):
+            kb.assign(east, jc)
+        with kb.else_():
+            kb.assign(east, kb.load(kb.param("image") + t + 1))
+
+        dn = north - jc
+        ds = south - jc
+        dw = west - jc
+        de = east - jc
+        g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc)
+        l = (dn + ds + dw + de) / jc
+        num = 0.5 * g2 - 0.0625 * (l * l)
+        den_t = 1.0 + 0.25 * l
+        qsqr = num / (den_t * den_t)
+        cval = kb.var("cval", 0.0)
+        kb.assign(
+            cval, 1.0 / (1.0 + (qsqr - Q0) / (Q0 * (1.0 + Q0)))
+        )
+        # Clamp the diffusion coefficient to [0, 1] (Rodinia's saturation
+        # branches — more divergence on top of the border chains).
+        with kb.if_(cval < 0.0):
+            kb.assign(cval, 0.0)
+        with kb.else_():
+            with kb.if_(cval > 1.0):
+                kb.assign(cval, 1.0)
+        kb.store(kb.param("coeff") + t, cval)
+    return kb.build()
+
+
+def srad_reference(image: np.ndarray) -> np.ndarray:
+    rows, cols = image.shape
+    north = np.vstack([image[0:1, :], image[:-1, :]])
+    south = np.vstack([image[1:, :], image[-1:, :]])
+    west = np.hstack([image[:, 0:1], image[:, :-1]])
+    east = np.hstack([image[:, 1:], image[:, -1:]])
+    dn, ds, dw, de = (x - image for x in (north, south, west, east))
+    g2 = (dn**2 + ds**2 + dw**2 + de**2) / image**2
+    l = (dn + ds + dw + de) / image
+    num = 0.5 * g2 - 0.0625 * l**2
+    den = (1.0 + 0.25 * l) ** 2
+    qsqr = num / den
+    c = 1.0 / (1.0 + (qsqr - Q0) / (Q0 * (1.0 + Q0)))
+    return np.clip(c, 0.0, 1.0)
+
+
+def make_workload(scale: str = "small", seed: int = 131) -> Workload:
+    side = pick(scale, 16, 64, 128)
+    rows = cols = side
+    rng = np.random.default_rng(seed)
+    image = rng.uniform(0.5, 1.5, (rows, cols))
+
+    mem = MemoryImage(2 * rows * cols + 64)
+    b_img = mem.alloc_array("image", image.ravel())
+    b_coe = mem.alloc("coeff", rows * cols)
+
+    return Workload(
+        name="srad/srad_kernel",
+        app="SRAD",
+        kernel=srad_kernel(),
+        memory=mem,
+        params={"image": b_img, "coeff": b_coe, "rows": rows, "cols": cols},
+        n_threads=rows * cols,
+        expected={"coeff": srad_reference(image).ravel()},
+        paper_blocks=0,  # beyond Table 2
+    )

@@ -1,0 +1,82 @@
+"""SM — streamcluster ``compute_cost`` (Rodinia), paper Table 2:
+6 basic blocks.
+
+For a candidate centre, every thread computes its point's weighted
+squared distance and, if opening the centre would be cheaper than the
+point's current assignment, records the switch in the per-point
+``switch_cost`` array (the original accumulates into a shared cost via
+atomics; we keep the per-point decision and let the host reduce, which
+preserves the kernel's loop + compare-and-update control flow)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Kernel, KernelBuilder
+from repro.kernels.base import Workload, pick
+from repro.memory import MemoryImage
+
+
+def compute_cost_kernel() -> Kernel:
+    kb = KernelBuilder(
+        "compute_cost",
+        params=["points", "weights", "center", "cur_cost", "switch_cost",
+                "assign", "dims", "n", "cid"],
+    )
+    i = kb.tid()
+    dims = kb.param("dims")
+    with kb.if_(i < kb.param("n")):
+        acc = kb.var("acc", 0.0)
+        base = kb.param("points") + i * dims
+        with kb.for_range(0, dims, name="dim") as j:
+            diff = kb.load(base + j) - kb.load(kb.param("center") + j)
+            kb.assign(acc, acc + diff * diff)
+        cost = kb.load(kb.param("weights") + i) * acc
+        cur = kb.load(kb.param("cur_cost") + i)
+        with kb.if_(cost < cur):
+            kb.store(kb.param("switch_cost") + i, cost - cur)
+            kb.store(kb.param("assign") + i, kb.param("cid"))
+        with kb.else_():
+            kb.store(kb.param("switch_cost") + i, 0.0)
+    return kb.build()
+
+
+def make_workload(scale: str = "small", seed: int = 121) -> Workload:
+    n = pick(scale, 256, 4096, 16384)
+    dims = 8
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dims))
+    weights = rng.uniform(0.5, 2.0, n)
+    center = rng.normal(size=dims)
+    cur_cost = rng.uniform(1.0, 10.0, n)
+    assign = np.zeros(n)
+    cid = 7
+
+    mem = MemoryImage(n * dims + 4 * n + dims + 64)
+    b_pts = mem.alloc_array("points", points.ravel())
+    b_w = mem.alloc_array("weights", weights)
+    b_c = mem.alloc_array("center", center)
+    b_cur = mem.alloc_array("cur_cost", cur_cost)
+    b_sw = mem.alloc("switch_cost", n)
+    b_as = mem.alloc_array("assign", assign)
+
+    dist = ((points - center) ** 2).sum(axis=1)
+    cost = weights * dist
+    better = cost < cur_cost
+    e_switch = np.where(better, cost - cur_cost, 0.0)
+    e_assign = np.where(better, float(cid), 0.0)
+
+    return Workload(
+        name="streamcluster/compute_cost",
+        app="SM",
+        kernel=compute_cost_kernel(),
+        memory=mem,
+        params={
+            "points": b_pts, "weights": b_w, "center": b_c,
+            "cur_cost": b_cur, "switch_cost": b_sw, "assign": b_as,
+            "dims": dims, "n": n, "cid": cid,
+        },
+        n_threads=n,
+        expected={"switch_cost": e_switch, "assign": e_assign},
+        paper_blocks=6,
+    )

@@ -1,0 +1,105 @@
+"""Small synthetic kernels used by tests, examples, and ablations.
+
+``fig1_kernel`` reproduces the nested-conditional control flow of the
+paper's Figure 1a — the running example used to illustrate control flow
+coalescing (Figures 1 and 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.ir import DType, Kernel, KernelBuilder
+from repro.memory import MemoryImage
+
+
+def saxpy_kernel() -> Kernel:
+    """``out[i] = a * x[i] + y[i]`` for ``i < n`` — the canonical quickstart."""
+    kb = KernelBuilder("saxpy", params=["a", "x", "y", "out", "n"])
+    i = kb.tid()
+    with kb.if_(i < kb.param("n")):
+        xv = kb.load(kb.param("x") + i)
+        yv = kb.load(kb.param("y") + i)
+        kb.store(kb.param("out") + i, kb.fparam("a") * xv + yv)
+    return kb.build()
+
+
+def fig1_kernel() -> Kernel:
+    """The paper's Figure 1a control flow: a nested conditional.
+
+    ::
+
+        v = data[tid]
+        if v < a:            # BB1 -> BB2
+            r = 2 * v
+        else:                # BB3
+            if v < b:        # -> BB4
+                r = v + 10
+            else:            # -> BB5
+                r = sqrt(v)
+        out[tid] = r         # BB6
+    """
+    kb = KernelBuilder("fig1", params=["a", "b", "data", "out"])
+    i = kb.tid()
+    v = kb.load(kb.param("data") + i)
+    r = kb.var("r", 0.0)
+    with kb.if_(v < kb.fparam("a")):
+        kb.assign(r, v * 2.0)
+    with kb.else_():
+        with kb.if_(v < kb.fparam("b")):
+            kb.assign(r, v + 10.0)
+        with kb.else_():
+            kb.assign(r, kb.sqrt(v))
+    kb.store(kb.param("out") + i, r)
+    return kb.build()
+
+
+def fig1_reference(data: np.ndarray, a: float, b: float) -> np.ndarray:
+    """Numpy golden model of :func:`fig1_kernel`."""
+    return np.where(data < a, 2 * data, np.where(data < b, data + 10, np.sqrt(data)))
+
+
+def loop_sum_kernel() -> Kernel:
+    """Each thread sums ``count[tid]`` consecutive values — a data-dependent
+    loop that exercises back edges and divergent trip counts."""
+    kb = KernelBuilder("loop_sum", params=["data", "count", "out", "stride"])
+    t = kb.tid()
+    n = kb.load(kb.param("count") + t, DType.INT)
+    acc = kb.var("acc", 0.0)
+    base = kb.param("data") + t * kb.param("stride")
+    with kb.for_range(0, n) as j:
+        kb.assign(acc, acc + kb.load(base + j))
+    kb.store(kb.param("out") + t, acc)
+    return kb.build()
+
+
+def loop_sum_reference(data: np.ndarray, count: np.ndarray, stride: int) -> np.ndarray:
+    out = np.zeros(len(count))
+    for t, n in enumerate(count):
+        out[t] = data[t * stride : t * stride + int(n)].sum()
+    return out
+
+
+def memcopy_kernel() -> Kernel:
+    """Pure data movement (models the CFD3 ``time_step``-style kernel the
+    paper singles out as memory-bound)."""
+    kb = KernelBuilder("memcopy", params=["src", "dst", "n"])
+    i = kb.tid()
+    with kb.if_(i < kb.param("n")):
+        kb.store(kb.param("dst") + i, kb.load(kb.param("src") + i))
+    return kb.build()
+
+
+def make_fig1_workload(
+    n_threads: int = 64, seed: int = 7
+) -> Tuple[Kernel, MemoryImage, Dict[str, float]]:
+    """Kernel + memory + params for the Figure 1a example, ready to run."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 30.0, n_threads)
+    mem = MemoryImage(4 * n_threads + 64)
+    data_base = mem.alloc_array("data", data)
+    out_base = mem.alloc("out", n_threads)
+    params = {"a": 10.0, "b": 20.0, "data": data_base, "out": out_base}
+    return fig1_kernel(), mem, params

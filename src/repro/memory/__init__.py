@@ -1,0 +1,20 @@
+"""GPU memory hierarchy: flat image, banked caches, DRAM, coalescer."""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.coalescer import coalesce_word_addresses, line_address_of_word
+from repro.memory.dram import DRAM, DRAMStats
+from repro.memory.hierarchy import LiveValueCache, MemorySystem
+from repro.memory.image import WORD_BYTES, MemoryImage
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "DRAM",
+    "DRAMStats",
+    "LiveValueCache",
+    "MemoryImage",
+    "MemorySystem",
+    "WORD_BYTES",
+    "coalesce_word_addresses",
+    "line_address_of_word",
+]

@@ -1,0 +1,238 @@
+"""Timing/tag model for banked set-associative caches.
+
+Used for the L1 (32 banks), the L2 (6 banks) and the VGIW live value
+cache (paper §3.4: "implemented as a banked cache, similar to a GPGPU
+L1 design, and backed by the memory system").
+
+The cache tracks tags, LRU state, dirty bits, bank occupancy and MSHRs —
+but no data: functional values live in the flat
+:class:`~repro.memory.image.MemoryImage`, so the timing model cannot
+corrupt results.  Two write policies are supported, because that is the
+single memory-system difference between VGIW and Fermi (paper §3.6):
+
+* ``write_back=True`` — write-back, write-allocate (VGIW, SGMF);
+* ``write_back=False`` — write-through, write-no-allocate (Fermi).
+
+The model is a resource timeline: every access reserves its bank for one
+cycle and returns its completion time; misses recurse into the next
+level.  Same-line misses in flight are merged through the MSHRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+
+class NextLevel(Protocol):
+    """Anything a cache can miss into (another cache or DRAM)."""
+
+    def access(self, time: float, line_addr: int, is_write: bool) -> float: ...
+
+
+@dataclass
+class CacheStats:
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    mshr_merges: int = 0
+    bank_wait_cycles: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return (
+            self.read_hits + self.read_misses
+            + self.write_hits + self.write_misses
+        )
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return 1.0 - self.misses / total if total else 0.0
+
+
+class Cache:
+    """One level of banked, set-associative cache (timing only)."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int,
+        ways: int,
+        banks: int,
+        hit_latency: int,
+        next_level: Optional[NextLevel],
+        write_back: bool = True,
+        write_validate: bool = False,
+    ):
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ValueError(f"{name}: size not divisible by line*ways")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.banks = banks
+        self.hit_latency = hit_latency
+        self.next_level = next_level
+        self.write_back = write_back
+        # write_validate: allocate write-miss lines without fetching them
+        # (used by the LVC, whose backing matrix holds no meaningful data
+        # until first spill — paper section 3.4).
+        self.write_validate = write_validate
+        self.n_sets = size_bytes // (line_bytes * ways)
+        self.stats = CacheStats()
+        # set index -> list of [tag, dirty] in LRU order (front = LRU)
+        self._sets: Dict[int, List[List]] = {}
+        # bank -> set of occupied (integer) cycles, plus the highest one.
+        # A calendar rather than a free-pointer so that requests arriving
+        # out of simulation order can backfill idle cycles instead of
+        # queueing behind logically-later requests.
+        self._bank_busy: Dict[int, set] = {}
+        self._bank_high: Dict[int, int] = {}
+        # line address -> in-flight fill completion time (MSHR)
+        self._mshr: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _split(self, line_addr: int) -> Tuple[int, int, int]:
+        # XOR set-index hashing (standard in GPU caches): arrays laid out
+        # at power-of-two strides would otherwise collide in one set and
+        # thrash a low-associativity cache.
+        set_idx = (line_addr ^ (line_addr // self.n_sets)) % self.n_sets
+        tag = line_addr // self.n_sets
+        bank = line_addr % self.banks
+        return set_idx, tag, bank
+
+    def _bank_start(self, time: float, bank: int) -> float:
+        """Claim the first free cycle of ``bank`` at or after ``time``
+        (one access per bank per cycle)."""
+        t = int(time) if time == int(time) else int(time) + 1
+        busy = self._bank_busy.get(bank)
+        if busy is None:
+            busy = set()
+            self._bank_busy[bank] = busy
+        start = t
+        if start <= self._bank_high.get(bank, -1):
+            while start in busy:
+                start += 1
+        busy.add(start)
+        if start > self._bank_high.get(bank, -1):
+            self._bank_high[bank] = start
+        self.stats.bank_wait_cycles += start - t
+        return float(start)
+
+    def _lookup(self, set_idx: int, tag: int) -> Optional[List]:
+        ways = self._sets.get(set_idx)
+        if not ways:
+            return None
+        for entry in ways:
+            if entry[0] == tag:
+                return entry
+        return None
+
+    def _touch(self, set_idx: int, entry: List) -> None:
+        ways = self._sets[set_idx]
+        ways.remove(entry)
+        ways.append(entry)
+
+    def _fill(self, time: float, line_addr: int, set_idx: int, tag: int,
+              dirty: bool) -> None:
+        ways = self._sets.setdefault(set_idx, [])
+        if len(ways) >= self.ways:
+            victim = ways.pop(0)
+            if self.write_back and victim[1]:
+                # Posted write-back of the dirty victim line (invert the
+                # XOR set hash to recover the victim's line address).
+                tag = victim[0]
+                low = set_idx ^ (tag % self.n_sets)
+                victim_line = tag * self.n_sets + low
+                self.stats.writebacks += 1
+                if self.next_level is not None:
+                    self.next_level.access(time, victim_line, True)
+        ways.append([tag, dirty])
+
+    # ------------------------------------------------------------------
+    def access(self, time: float, line_addr: int, is_write: bool,
+               bank: Optional[int] = None) -> float:
+        """Access one line; return the completion time.
+
+        ``bank`` overrides the default line-interleaved bank selection —
+        scalar (word-granularity) clients like the VGIW LDST units pass
+        the word-interleaved bank so that consecutive words in one line
+        hit different banks (paper §3.6: 32-bank L1).
+
+        Writes complete at the L1 port (posted); reads complete when the
+        data is available (after a fill on a miss).
+        """
+        set_idx, tag, default_bank = self._split(line_addr)
+        start = self._bank_start(time, default_bank if bank is None else bank)
+        entry = self._lookup(set_idx, tag)
+
+        if entry is not None:
+            self._touch(set_idx, entry)
+            # A "hit" on a line whose fill is still in flight must wait
+            # for the data to arrive (MSHR hit).
+            pending = self._mshr.get(line_addr)
+            if is_write:
+                self.stats.write_hits += 1
+                if self.write_back:
+                    entry[1] = True
+                elif self.next_level is not None:
+                    # Write-through: propagate, completion stays local.
+                    self.next_level.access(start, line_addr, True)
+            else:
+                self.stats.read_hits += 1
+                if pending is not None and pending > start:
+                    self.stats.mshr_merges += 1
+                    return pending
+            return start + self.hit_latency
+
+        # Miss paths -----------------------------------------------------
+        if is_write:
+            self.stats.write_misses += 1
+            if not self.write_back:
+                # Write-no-allocate: forward the write, do not fill.
+                if self.next_level is not None:
+                    self.next_level.access(start, line_addr, True)
+                return start + self.hit_latency
+            if self.write_validate:
+                # Allocate without fetching (no meaningful old data).
+                self._fill(start, line_addr, set_idx, tag, dirty=True)
+                return start + self.hit_latency
+            # Write-allocate: fetch the line, then dirty it.
+            ready = self._miss_fill(start, line_addr, set_idx, tag)
+            entry = self._lookup(set_idx, tag)
+            if entry is not None:
+                entry[1] = True
+            return ready
+
+        self.stats.read_misses += 1
+        return self._miss_fill(start, line_addr, set_idx, tag)
+
+    def _miss_fill(self, start: float, line_addr: int, set_idx: int,
+                   tag: int) -> float:
+        pending = self._mshr.get(line_addr)
+        if pending is not None and pending > start:
+            self.stats.mshr_merges += 1
+            return pending
+        if self.next_level is not None:
+            ready = self.next_level.access(start + self.hit_latency, line_addr, False)
+        else:
+            ready = start + self.hit_latency
+        ready += self.hit_latency
+        self._mshr[line_addr] = ready
+        if len(self._mshr) > 4 * self.banks:
+            # Lazy pruning of stale MSHR entries.
+            self._mshr = {a: t for a, t in self._mshr.items() if t > start}
+        self._fill(ready, line_addr, set_idx, tag, dirty=False)
+        return ready
+
+    # ------------------------------------------------------------------
+    def contains(self, line_addr: int) -> bool:
+        set_idx, tag, _ = self._split(line_addr)
+        return self._lookup(set_idx, tag) is not None

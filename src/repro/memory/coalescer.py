@@ -1,0 +1,33 @@
+"""Warp memory-access coalescing (Fermi baseline only).
+
+A Fermi SM merges the 32 lane addresses of a warp memory instruction
+into the minimal set of 128-byte segments and issues one L1 access per
+segment (Lindholm et al., IEEE Micro 2008).  VGIW performs **no**
+memory coalescing — each thread's load/store is a scalar L1 access
+(paper §5: "Even though VGIW does not perform memory coalescing ...");
+the contrast between the two paths is what makes streaming kernels such
+as CFD's ``time_step`` competitive on Fermi.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.memory.image import WORD_BYTES
+
+
+def coalesce_word_addresses(
+    word_addrs: Iterable[int], line_bytes: int = 128
+) -> List[int]:
+    """Map lane word-addresses to the distinct line addresses they touch.
+
+    Returns sorted line indices (byte address / ``line_bytes``), one per
+    memory transaction the warp instruction generates.
+    """
+    words_per_line = line_bytes // WORD_BYTES
+    return sorted({int(a) // words_per_line for a in word_addrs})
+
+
+def line_address_of_word(word_addr: int, line_bytes: int = 128) -> int:
+    """Line index containing a word address."""
+    return int(word_addr) // (line_bytes // WORD_BYTES)

@@ -1,0 +1,140 @@
+"""GDDR5-style DRAM timing model.
+
+16 banks across 6 channels (paper Table 1).  Each bank serves one access
+at a time and keeps a row buffer; a row-buffer hit costs the
+CAS-dominated latency, a miss adds precharge + activate.  Each channel's
+data bus is occupied for a short burst per 128-byte transfer, so
+accesses to different banks pipeline on one channel.
+
+Because the core-side simulators generate requests in rough — not
+strict — time order, banks and channels are modelled as *calendars*
+(free-interval searches) rather than monotone free pointers: a request
+with an earlier timestamp may backfill an idle slot instead of queueing
+behind a logically-later request.
+
+All times are in core-clock cycles (the DRAM's slower clock is folded
+into the latency constants; paper Table 1 lists 0.924 GHz vs the
+1.4 GHz core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.config import MemoryConfig
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class _Bank:
+    """One DRAM bank: a sorted calendar of (start, end, row) accesses."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self):
+        self.intervals: List[Tuple[float, float, int]] = []
+
+    def schedule(self, t: float, row: int, hit_lat: int, miss_lat: int
+                 ) -> Tuple[float, float, bool]:
+        """Find the earliest slot at/after ``t``; returns
+        (start, end, row_hit)."""
+        candidate = t
+        idx = 0
+        intervals = self.intervals
+        while True:
+            # Row state at the candidate time = row of the latest access
+            # starting before it.
+            prev_row = -1
+            for s, e, r in intervals:
+                if s <= candidate:
+                    prev_row = r
+                else:
+                    break
+            latency = hit_lat if row == prev_row else miss_lat
+            end = candidate + latency
+            conflict = None
+            for s, e, r in intervals:
+                if s < end and candidate < e:
+                    conflict = e
+                    break
+            if conflict is None:
+                self._insert(candidate, end, row)
+                return candidate, end, latency == hit_lat
+            candidate = conflict
+
+    def _insert(self, start: float, end: float, row: int) -> None:
+        intervals = self.intervals
+        lo = 0
+        while lo < len(intervals) and intervals[lo][0] < start:
+            lo += 1
+        intervals.insert(lo, (start, end, row))
+
+
+class DRAM:
+    """Main memory: the last level of every access path."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+        self.stats = DRAMStats()
+        self._banks: Dict[Tuple[int, int], _Bank] = {}
+        # channel -> occupied burst slots (slot = cycle // burst_cycles)
+        self._channel_busy: Dict[int, set] = {}
+        self._channel_high: Dict[int, int] = {}
+
+    def _locate(self, line_addr: int) -> Tuple[int, int, int]:
+        cfg = self.config
+        channel = line_addr % cfg.dram_channels
+        interleaved = line_addr // cfg.dram_channels
+        bank = interleaved % cfg.dram_banks_per_channel
+        lines_per_row = max(1, cfg.dram_row_bytes // 128)
+        row = interleaved // (cfg.dram_banks_per_channel * lines_per_row)
+        return channel, bank, row
+
+    def _claim_channel(self, channel: int, t: float) -> float:
+        """Claim the first free burst slot of ``channel`` at/after ``t``."""
+        burst = self.config.dram_burst_cycles
+        slot = int(t // burst)
+        if t > slot * burst:
+            slot += 1
+        busy = self._channel_busy.setdefault(channel, set())
+        if slot <= self._channel_high.get(channel, -1):
+            while slot in busy:
+                slot += 1
+        busy.add(slot)
+        if slot > self._channel_high.get(channel, -1):
+            self._channel_high[channel] = slot
+        return slot * burst
+
+    def access(self, time: float, line_addr: int, is_write: bool) -> float:
+        """One 128-byte line transfer; returns its completion time."""
+        cfg = self.config
+        channel, bank_idx, row = self._locate(line_addr)
+        bank = self._banks.setdefault((channel, bank_idx), _Bank())
+
+        start, end, row_hit = bank.schedule(
+            time, row, cfg.dram_row_hit_latency, cfg.dram_row_miss_latency
+        )
+        # The data burst at the end of the access needs the channel bus.
+        burst_at = self._claim_channel(channel, end - cfg.dram_burst_cycles)
+        done = burst_at + cfg.dram_burst_cycles
+
+        if row_hit:
+            self.stats.row_hits += 1
+        else:
+            self.stats.row_misses += 1
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return done

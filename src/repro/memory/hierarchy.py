@@ -1,0 +1,188 @@
+"""Assembled memory hierarchies for the three modelled cores.
+
+``MemorySystem`` wires a banked L1 in front of a banked L2 in front of
+GDDR5 DRAM (paper §3.6 / Table 1).  The VGIW core additionally owns a
+``LiveValueCache`` instance backed by the same L2 (paper §3.4).
+
+Word-granularity entry points convert word addresses to line addresses;
+the Fermi path instead uses :mod:`repro.memory.coalescer` and calls
+``access_line`` once per coalesced segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import MemoryConfig
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.coalescer import line_address_of_word
+from repro.memory.dram import DRAM
+
+
+class MemorySystem:
+    """L1 + L2 + DRAM with configurable L1 write policy."""
+
+    def __init__(self, config: MemoryConfig, l1_write_back: bool):
+        self.config = config
+        self.dram = DRAM(config)
+        self.l2 = Cache(
+            "L2",
+            size_bytes=config.l2_size_bytes,
+            line_bytes=config.l2_line_bytes,
+            ways=config.l2_ways,
+            banks=config.l2_banks,
+            hit_latency=config.l2_hit_latency,
+            next_level=self.dram,
+            write_back=True,
+            # Every L2 write in this model is a full-line writeback from
+            # the L1 or the LVC, so allocating without fetching is exact.
+            write_validate=True,
+        )
+        self.l1 = Cache(
+            "L1",
+            size_bytes=config.l1_size_bytes,
+            line_bytes=config.l1_line_bytes,
+            ways=config.l1_ways,
+            banks=config.l1_banks,
+            hit_latency=config.l1_hit_latency,
+            next_level=self.l2,
+            write_back=l1_write_back,
+            # Write-back/write-allocate (VGIW, SGMF) allocates store-miss
+            # lines without fetching: data-parallel thread vectors fully
+            # overwrite output lines, so fetch-on-store would stream
+            # garbage (a standard write-validate optimisation).  The
+            # Fermi configuration is write-through/no-allocate and never
+            # consults this flag on its write path.
+            write_validate=l1_write_back,
+        )
+
+    # -- scalar (VGIW/SGMF LDST units) ---------------------------------
+    def access_word(self, time: float, word_addr: int, is_write: bool) -> float:
+        """One scalar word access through the L1.
+
+        Banks are word-interleaved for scalar clients so that the 32
+        banks serve 32 consecutive words of a line concurrently.
+        """
+        line = line_address_of_word(word_addr, self.config.l1_line_bytes)
+        bank = int(word_addr) % self.config.l1_banks
+        return self.l1.access(time, line, is_write, bank=bank)
+
+    # -- coalesced (Fermi LDST pipeline) --------------------------------
+    def access_line(self, time: float, line_addr: int, is_write: bool) -> float:
+        """One 128-byte transaction (a coalesced warp segment)."""
+        return self.l1.access(time, line_addr, is_write)
+
+    @property
+    def l1_stats(self) -> CacheStats:
+        return self.l1.stats
+
+    @property
+    def l2_stats(self) -> CacheStats:
+        return self.l2.stats
+
+
+class LiveValueCache:
+    """The VGIW live value cache (paper §3.4).
+
+    Caches the memory-resident live-value matrix, which is indexed by
+    ⟨live value ID, thread ID⟩.  Rows are laid out thread-major so that
+    consecutive threads' instances of one live value share lines; the
+    matrix lives in its own address space (modelled as a distinct line
+    namespace on the shared L2, offset far beyond kernel data).
+
+    Each LVU streams the thread vector in ascending-ID order, so it
+    holds the line it is working through in a single-entry line buffer
+    and only touches an LVC bank when it crosses a line boundary.  This
+    is what keeps the *bank-level* LVC access count an order of
+    magnitude below a register file's (paper Figure 3); per-word
+    requests are still tracked separately for the energy model.
+    """
+
+    #: line-address offset separating the live-value matrix from kernel
+    #: data in the shared L2 namespace.
+    ADDRESS_SPACE_BASE = 1 << 40
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int,
+        ways: int,
+        banks: int,
+        hit_latency: int,
+        l2: Cache,
+        max_threads: int = 1 << 16,
+    ):
+        self.cache = Cache(
+            "LVC",
+            size_bytes=size_bytes,
+            line_bytes=line_bytes,
+            ways=ways,
+            banks=banks,
+            hit_latency=hit_latency,
+            next_level=l2,
+            write_back=True,
+            write_validate=True,
+        )
+        self.line_bytes = line_bytes
+        self.max_threads = max_threads
+        #: word-granularity requests from the LVUs
+        self.reads = 0
+        self.writes = 0
+        #: requests served out of an LVU's line buffer (no bank access)
+        self.buffered = 0
+        #: LVU port -> [current line, line ready time, dirty]
+        self._ports: dict = {}
+
+    def _line_addr(self, lv_id: int, tid: int) -> int:
+        from repro.memory.image import WORD_BYTES
+
+        word = lv_id * self.max_threads + tid
+        return self.ADDRESS_SPACE_BASE + word * WORD_BYTES // self.line_bytes
+
+    def access(self, time: float, lv_id: int, tid: int, is_write: bool,
+               port=None) -> float:
+        """One live-value request by ⟨live value ID, thread ID⟩.
+
+        ``port`` identifies the requesting LVU instance; requests that
+        fall in the port's current line are served from its line buffer
+        in one cycle.  Crossing a line boundary costs a banked LVC
+        access (word-interleaved banks — the LVC is accessed at word
+        granularity, paper §3.4).
+        """
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        line = self._line_addr(lv_id, tid)
+        if port is not None:
+            cur = self._ports.get(port)
+            if cur is not None and cur[0] == line:
+                self.buffered += 1
+                if is_write:
+                    cur[2] = True
+                return max(time, cur[1]) + 1.0
+        word = lv_id * self.max_threads + tid
+        bank = word % self.cache.banks
+        done = self.cache.access(time, line, is_write, bank=bank)
+        if port is not None:
+            cur = self._ports.get(port)
+            if cur is not None and cur[2] and cur[0] != line:
+                # Flush the previous dirty line buffer to its bank.
+                self.cache.access(time, cur[0], True,
+                                  bank=cur[0] % self.cache.banks)
+            self._ports[port] = [line, done, is_write]
+        return done
+
+    @property
+    def accesses(self) -> int:
+        """Word-granularity requests (line-buffer hits included)."""
+        return self.reads + self.writes
+
+    @property
+    def bank_accesses(self) -> int:
+        """Actual banked LVC accesses (the paper Figure 3 count)."""
+        return self.cache.stats.accesses
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats

@@ -1,0 +1,20 @@
+"""GPUWattch-style energy model."""
+
+from repro.power.accounting import (
+    EnergyBreakdown,
+    efficiency_ratio,
+    energy_fermi,
+    energy_sgmf,
+    energy_vgiw,
+)
+from repro.power.energy_table import DEFAULT_ENERGY, EnergyTable
+
+__all__ = [
+    "DEFAULT_ENERGY",
+    "EnergyBreakdown",
+    "EnergyTable",
+    "efficiency_ratio",
+    "energy_fermi",
+    "energy_sgmf",
+    "energy_vgiw",
+]

@@ -1,0 +1,20 @@
+"""SGMF dataflow GPGPU baseline (ISCA 2014)."""
+
+from repro.sgmf.core import SGMFCore, SGMFRunResult
+from repro.sgmf.mapping import (
+    SGMFMapping,
+    SGMFUnmappableError,
+    build_sgmf_dfgs,
+    kernel_demand,
+    map_kernel,
+)
+
+__all__ = [
+    "SGMFCore",
+    "SGMFMapping",
+    "SGMFRunResult",
+    "SGMFUnmappableError",
+    "build_sgmf_dfgs",
+    "kernel_demand",
+    "map_kernel",
+]

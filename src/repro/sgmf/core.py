@@ -1,0 +1,274 @@
+"""SGMF core execution: the dataflow-GPGPU baseline.
+
+Threads stream through the whole-kernel resident graph with no
+reconfiguration, no CVT bookkeeping, and no LVC traffic — block-crossing
+values ride the interconnect directly.  The cost of this generality is
+(1) the capacity limit (see :mod:`repro.sgmf.mapping`) and (2) wasted
+fabric bandwidth: a thread pumps one predicated token through every
+mapped node it does not actually need (paper §2, Figure 1c).
+
+The timing machinery (unit issue, SCU pools, reservation buffers,
+token-buffer windows, hop latencies) is shared with the VGIW MT-CGRF
+model so the two architectures differ only where the designs differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.arch.config import SGMFConfig, UnitKind, op_latency_for
+from repro.compiler.dfg import NodeKind, NodeSrc, ImmSrc, ParamSrc
+from repro.ir.instr import EVAL, TermKind
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType
+from repro.memory.cache import CacheStats
+from repro.memory.dram import DRAMStats
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.image import MemoryImage
+from repro.sgmf.mapping import SGMFMapping, SGMFUnmappableError, map_kernel
+from repro.vgiw.mtcgrf import FabricStats, _ReplicaState, _op_energy_class
+
+Number = Union[int, float, bool]
+
+
+@dataclass
+class SGMFRunResult:
+    """Result of one kernel launch on an SGMF core."""
+
+    kernel_name: str
+    n_threads: int
+    cycles: float
+    fabric: FabricStats
+    waste_fires: int
+    n_replicas: int
+    l1: CacheStats
+    l2: CacheStats
+    dram: DRAMStats
+
+    @property
+    def useful_fire_fraction(self) -> float:
+        total = self.fabric.node_fires
+        return 1.0 - self.waste_fires / total if total else 1.0
+
+
+class SGMFCore:
+    """A single SGMF core attached to the standard memory hierarchy."""
+
+    def __init__(self, config: Optional[SGMFConfig] = None):
+        self.config = config or SGMFConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kernel: Kernel,
+        memory: MemoryImage,
+        params: Dict[str, Number],
+        n_threads: int,
+        max_block_visits: int = 1_000_000,
+    ) -> SGMFRunResult:
+        """Execute the kernel, or raise :class:`SGMFUnmappableError`."""
+        config = self.config
+        mapping = map_kernel(kernel, config.fabric)
+        params = {
+            name: (
+                float(params[name])
+                if kernel.param_dtypes[name] is DType.FLOAT
+                else int(params[name])
+            )
+            for name in kernel.params
+        }
+        memsys = MemorySystem(config.memory, l1_write_back=config.l1_write_back)
+        stats = FabricStats()
+        self._waste_fires = 0
+
+        n_replicas = mapping.n_replicas
+        reps = [_ReplicaState(config) for _ in range(n_replicas)]
+        topo = {name: dfg.topo_order() for name, dfg in mapping.dfgs.items()}
+        sinks = {name: dfg.sink_nodes() for name, dfg in mapping.dfgs.items()}
+        depth = config.token_buffer_depth
+
+        end_time = 0.0
+        for i in range(n_threads):
+            ridx = i % n_replicas
+            rep = reps[ridx]
+            inject = rep.next_inject
+            if len(rep.window) >= depth:
+                inject = max(inject, rep.window[len(rep.window) - depth])
+            completion = self._run_thread(
+                mapping, topo, sinks, rep, mapping.replicas[ridx], i, inject,
+                params, memory, memsys, stats, max_block_visits,
+            )
+            rep.next_inject = inject + 1.0
+            rep.window.append(completion)
+            end_time = max(end_time, completion)
+
+        waste_fires = self._waste_fires
+        stats.threads = n_threads
+        return SGMFRunResult(
+            kernel_name=kernel.name,
+            n_threads=n_threads,
+            cycles=end_time,
+            fabric=stats,
+            waste_fires=waste_fires,
+            n_replicas=n_replicas,
+            l1=memsys.l1_stats,
+            l2=memsys.l2_stats,
+            dram=memsys.dram.stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_thread(
+        self,
+        mapping: SGMFMapping,
+        topo: Dict[str, List[int]],
+        sinks: Dict[str, List[int]],
+        rep: _ReplicaState,
+        placed: Dict[str, "PlacedReplica"],
+        tid: int,
+        inject: float,
+        params: Dict[str, Number],
+        memory: MemoryImage,
+        memsys: MemorySystem,
+        stats: FabricStats,
+        max_block_visits: int,
+    ) -> float:
+        config = self.config
+        kernel = mapping.kernel
+        regs_ready: Dict[str, float] = {}
+        reg_vals: Dict[str, Number] = {}
+        visited = set()
+        completion = inject
+        entry_time = inject
+        current: Optional[str] = kernel.entry
+        visits = 0
+
+        while current is not None:
+            visits += 1
+            if visits > max_block_visits:
+                raise RuntimeError(
+                    f"SGMF thread {tid} exceeded {max_block_visits} block visits"
+                )
+            visited.add(current)
+            dfg = mapping.dfgs[current]
+            pl = placed[current]
+            done: Dict[int, Number] = {}
+            value: Dict[int, Number] = {}
+
+            def src_value(src):
+                if isinstance(src, NodeSrc):
+                    return value[src.node]
+                if isinstance(src, ImmSrc):
+                    return src.value
+                if isinstance(src, ParamSrc):
+                    return params[src.name]
+                return tid
+
+            next_block: Optional[str] = None
+            for nid in topo[current]:
+                node = dfg.node(nid)
+                ready = entry_time
+                for up in node.input_nodes():
+                    ready = max(ready, done[up] + pl.edge_hops[(up, nid)])
+
+                kind = node.kind
+                if kind is NodeKind.INIT:
+                    done[nid] = entry_time
+                    value[nid] = tid
+                elif kind is NodeKind.LVLOAD:
+                    # Wired live value: arrives from the producing block.
+                    done[nid] = max(entry_time, regs_ready[node.out_reg] + 1)
+                    value[nid] = reg_vals[node.out_reg]
+                elif kind is NodeKind.LVSTORE:
+                    done[nid] = ready
+                    regs_ready[node.out_reg] = ready
+                    reg_vals[node.out_reg] = src_value(node.srcs[0])
+                elif kind is NodeKind.LOAD:
+                    addr = int(src_value(node.srcs[0]))
+                    start = rep.issue_mem(
+                        pl.unit_of[nid], ready, config.ldst_reservation_entries
+                    )
+                    fin = memsys.access_word(start, addr, False)
+                    rep.retire_mem(pl.unit_of[nid], fin)
+                    done[nid] = fin
+                    raw = memory.read(addr)
+                    value[nid] = int(raw) if node.dtype is DType.INT else raw
+                elif kind is NodeKind.STORE:
+                    addr = int(src_value(node.srcs[0]))
+                    start = rep.issue_mem(
+                        pl.unit_of[nid], ready, config.ldst_reservation_entries
+                    )
+                    fin = memsys.access_word(start, addr, True)
+                    rep.retire_mem(pl.unit_of[nid], fin)
+                    done[nid] = fin
+                    memory.write(addr, src_value(node.srcs[1]))
+                elif kind is NodeKind.TERM:
+                    start = rep.issue(pl.unit_of[nid], ready)
+                    done[nid] = start + 1.0
+                    if dfg.term_kind is TermKind.RET:
+                        next_block = None
+                    elif dfg.term_kind is TermKind.JMP:
+                        next_block = dfg.true_target
+                    else:
+                        taken = bool(src_value(node.srcs[0]))
+                        next_block = (
+                            dfg.true_target if taken else dfg.false_target
+                        )
+                elif kind in (NodeKind.SPLIT, NodeKind.JOIN):
+                    start = rep.issue(pl.unit_of[nid], ready)
+                    done[nid] = start + config.op_latency["split"]
+                    if kind is NodeKind.SPLIT:
+                        value[nid] = src_value(node.srcs[0])
+                else:  # OP
+                    latency = op_latency_for(node.op, config.op_latency)
+                    if node.unit_kind is UnitKind.SPECIAL:
+                        start = rep.issue_scu(pl.unit_of[nid], ready, latency)
+                    else:
+                        start = rep.issue(pl.unit_of[nid], ready)
+                    done[nid] = start + latency
+                    args = [src_value(s) for s in node.srcs]
+                    result = EVAL[node.op](*args)
+                    if node.dtype is DType.INT:
+                        result = int(result)
+                    elif node.dtype is DType.FLOAT:
+                        result = float(result)
+                    value[nid] = result
+
+                stats.node_fires += 1
+                stats.tokens += 1
+                if not node.pseudo:
+                    stats.ops[_op_energy_class(node, node.op)] += 1
+                for up in node.input_nodes():
+                    stats.token_hops += pl.edge_hops[(up, nid)]
+
+            completion = max(completion, max(done[s] for s in sinks[current]))
+            term_done = done[dfg.term_node]
+            entry_time = term_done + 1.0
+            current = next_block
+
+        # Predicated pass-through: one useless token through every node
+        # of every block this thread never reached (paper Figure 1c).
+        # The tokens flow while the thread is in flight, so they compete
+        # for unit slots around the thread's mid-execution — charging
+        # them at injection time would let them backfill long-idle
+        # cycles and understate the utilisation loss.
+        waste_time = inject + 0.5 * (completion - inject)
+        for name, dfg in mapping.dfgs.items():
+            if name in visited:
+                continue
+            pl = placed[name]
+            for node in dfg.nodes:
+                stats.node_fires += 1
+                stats.tokens += 1
+                self._waste_fires += 1
+                if node.pseudo:
+                    continue
+                stats.ops[_op_energy_class(node, node.op)] += 1
+                # Occupies an issue slot but performs no memory access.
+                rep.issue(pl.unit_of[node.nid], waste_time)
+
+        return completion
+
+    def mapping_for(self, kernel: Kernel) -> SGMFMapping:
+        """Expose the mapping (used by reports and tests)."""
+        return map_kernel(kernel, self.config.fabric)

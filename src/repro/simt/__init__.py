@@ -1,0 +1,17 @@
+"""Fermi-class SIMT GPGPU baseline."""
+
+from repro.simt.simtstack import EXIT, SIMTStack, SIMTStackError, StackEntry
+from repro.simt.sm import FermiRunResult, FermiSM, SMStats
+from repro.simt.warp import LaneMemOp, Warp
+
+__all__ = [
+    "EXIT",
+    "FermiRunResult",
+    "FermiSM",
+    "LaneMemOp",
+    "SIMTStack",
+    "SIMTStackError",
+    "SMStats",
+    "StackEntry",
+    "Warp",
+]

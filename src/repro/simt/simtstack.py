@@ -1,0 +1,124 @@
+"""SIMT reconvergence stack (immediate post-dominator scheme).
+
+This is the standard Fermi-class divergence mechanism the paper's
+baseline uses ("the GPGPU applies an execution mask to disable lanes",
+§2): when a warp's lanes branch different ways, the warp serialises the
+two paths and reconverges at the branch's immediate post-dominator.
+
+The implementation follows the GPGPU-Sim formulation: a stack of
+⟨reconvergence block, next block, active mask⟩ entries; the top entry is
+what the warp executes next.  A uniform branch updates the top entry; a
+divergent branch replaces it with a reconvergence continuation plus one
+entry per distinct target; reaching the top entry's reconvergence block
+pops it.  Kernel exit is represented by the sentinel :data:`EXIT`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Sentinel "block" meaning the lanes have left the kernel.
+EXIT = "<exit>"
+
+
+class SIMTStackError(Exception):
+    """Stack protocol violation (indicates a simulator bug)."""
+
+
+@dataclass
+class StackEntry:
+    reconv: str          # block at which this entry's lanes reconverge
+    next_block: str      # block to execute next (or EXIT)
+    mask: int            # active lanes
+
+
+class SIMTStack:
+    """Per-warp reconvergence stack."""
+
+    def __init__(self, entry_block: str, full_mask: int,
+                 ipdom: Dict[str, Optional[str]]):
+        self._ipdom = {k: (v if v is not None else EXIT) for k, v in ipdom.items()}
+        self.stack: List[StackEntry] = [
+            StackEntry(reconv=EXIT, next_block=entry_block, mask=full_mask)
+        ]
+        self.divergences = 0
+        self.max_depth = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self.stack
+
+    def _transparent(self, entry: StackEntry) -> bool:
+        """Entries that must pop without executing: lanes that left the
+        kernel, and continuations already sitting at their own
+        reconvergence point (an inner divergence that reconverges at the
+        parent's reconvergence point — the ancestor continuation below
+        carries these lanes, so executing here would duplicate work)."""
+        return entry.next_block == EXIT or entry.next_block == entry.reconv
+
+    def current(self) -> StackEntry:
+        if not self.stack:
+            raise SIMTStackError("warp already finished")
+        top = self.stack[-1]
+        while self._transparent(top):
+            self.stack.pop()
+            if not self.stack:
+                raise SIMTStackError("warp already finished")
+            top = self.stack[-1]
+        return top
+
+    def peek_block(self) -> Optional[str]:
+        """Block the warp will execute next, or None when finished."""
+        while self.stack and self._transparent(self.stack[-1]):
+            self.stack.pop()
+        return self.stack[-1].next_block if self.stack else None
+
+    # ------------------------------------------------------------------
+    def advance(self, executed_block: str, targets: Dict[str, int]) -> None:
+        """Commit the branch outcome of ``executed_block``.
+
+        ``targets`` maps successor block (or :data:`EXIT`) to the lane
+        mask taking it; the masks must partition the top entry's mask.
+        """
+        top = self.current()
+        if executed_block != top.next_block:
+            raise SIMTStackError(
+                f"executed {executed_block!r} but top of stack expected "
+                f"{top.next_block!r}"
+            )
+        union = 0
+        for mask in targets.values():
+            if union & mask:
+                raise SIMTStackError("lane assigned to two branch targets")
+            union |= mask
+        if union != top.mask:
+            raise SIMTStackError("branch outcome does not cover the warp mask")
+
+        live = {t: m for t, m in targets.items() if m}
+        if len(live) == 1:
+            (target,) = live
+            if target == top.reconv:
+                self.stack.pop()  # reconverged: resume the entry below
+            else:
+                top.next_block = target
+            return
+
+        # Divergence: serialise the paths, reconverging at the ipdom.
+        self.divergences += 1
+        reconv = self._ipdom.get(executed_block, EXIT)
+        self.stack.pop()
+        self.stack.append(
+            StackEntry(reconv=top.reconv, next_block=reconv, mask=top.mask)
+        )
+        # Deterministic order: EXIT last so real work runs first.
+        for target in sorted(live, key=lambda t: (t == EXIT, t), reverse=True):
+            if target == reconv:
+                # Lanes that jump straight to the reconvergence point just
+                # wait there; they are covered by the continuation entry.
+                continue
+            self.stack.append(
+                StackEntry(reconv=reconv, next_block=target, mask=live[target])
+            )
+        self.max_depth = max(self.max_depth, len(self.stack))

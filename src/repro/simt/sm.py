@@ -1,0 +1,360 @@
+"""Fermi-class streaming multiprocessor: the von Neumann GPGPU baseline.
+
+Models the first-order behaviours the paper's comparison rests on
+(§2, §4, §5):
+
+* warps of 32 threads execute in lockstep; divergence is handled by the
+  IPDOM reconvergence stack, so lanes whose control flow bypasses the
+  current block are masked off and their issue slots are wasted;
+* two warp schedulers issue up to two warp-instructions per cycle; the
+  ALU pipeline has Fermi-typical dependent-issue latency (hidden by
+  multithreading across up to 48 resident warps);
+* warp memory instructions are *coalesced* into 128-byte transactions
+  (the big von Neumann advantage VGIW lacks) and served by a
+  write-through / write-no-allocate L1;
+* a scoreboard blocks an instruction until its operand registers'
+  pending writes complete;
+* every warp instruction reads/writes the banked vector register file —
+  the access counts feed Figure 3 and the 30 % pipeline+RF energy
+  overhead the paper cites.
+
+Timing is event-ordered: warps live in a ready-time heap and execute one
+instruction per event; shared pipelines (issue slots, LDST, SFU) are
+resource timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.arch.config import FermiConfig
+from repro.compiler.cfganalysis import immediate_post_dominators
+from repro.ir.instr import Instr, Op, UnitClass, unit_class
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType, Reg, is_reserved_reg
+from repro.memory.cache import CacheStats
+from repro.memory.coalescer import coalesce_word_addresses
+from repro.memory.dram import DRAMStats
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.image import MemoryImage
+from repro.simt.simtstack import SIMTStack
+from repro.simt.warp import Warp
+
+Number = Union[int, float, bool]
+
+
+@dataclass
+class SMStats:
+    """Event counters for the SM (feeds the energy model and Figure 3)."""
+
+    instructions_issued: int = 0
+    branch_instructions: int = 0
+    alu_instructions: int = 0
+    sfu_instructions: int = 0
+    mem_instructions: int = 0
+    lane_ops: int = 0
+    lane_alu_ops: int = 0   # active lanes of int-ALU/branch instructions
+    lane_fpu_ops: int = 0   # active lanes of FP instructions
+    lane_sfu_ops: int = 0   # active lanes of SFU instructions
+    lane_mem_ops: int = 0   # active lanes of memory instructions
+    wasted_lane_slots: int = 0
+    rf_reads: int = 0
+    rf_writes: int = 0
+    mem_transactions: int = 0
+    divergences: int = 0
+    warps_launched: int = 0
+    register_pressure: int = 0  # registers per thread (occupancy model)
+    resident_warps: int = 0     # warps co-resident after the RF bound
+
+    @property
+    def rf_accesses(self) -> int:
+        return self.rf_reads + self.rf_writes
+
+    @property
+    def simd_efficiency(self) -> float:
+        total = self.lane_ops + self.wasted_lane_slots
+        return self.lane_ops / total if total else 1.0
+
+
+@dataclass
+class FermiRunResult:
+    """Result of one kernel launch on the Fermi baseline."""
+
+    kernel_name: str
+    n_threads: int
+    cycles: float
+    sm: SMStats
+    l1: CacheStats
+    l2: CacheStats
+    dram: DRAMStats
+
+
+def _register_pressure(kernel: Kernel) -> int:
+    """Registers per thread for the occupancy model.
+
+    Approximated as the maximum over blocks of (registers live into the
+    block + registers the block defines) — what an allocator without
+    intra-block reuse would need — floored at a realistic minimum.
+    """
+    from repro.compiler.liveness import analyze_liveness
+
+    live = analyze_liveness(kernel)
+    peak = 0
+    for name, block in kernel.blocks.items():
+        peak = max(peak, len(live.live_in[name]) + len(block.defs()))
+    return max(8, peak)
+
+
+class _WarpCtx:
+    """Scheduler-side warp context."""
+
+    __slots__ = ("warp", "stack", "block", "idx", "ready", "reg_ready")
+
+    def __init__(self, warp: Warp, stack: SIMTStack, entry: str):
+        self.warp = warp
+        self.stack = stack
+        self.block = entry
+        self.idx = 0
+        self.ready = 0.0
+        self.reg_ready: Dict[str, float] = {}
+
+
+class FermiSM:
+    """One Fermi-class SM attached to the standard memory hierarchy."""
+
+    def __init__(self, config: Optional[FermiConfig] = None):
+        self.config = config or FermiConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kernel: Kernel,
+        memory: MemoryImage,
+        params: Dict[str, Number],
+        n_threads: int,
+    ) -> FermiRunResult:
+        config = self.config
+        params = {
+            name: (
+                float(params[name])
+                if kernel.param_dtypes[name] is DType.FLOAT
+                else int(params[name])
+            )
+            for name in kernel.params
+        }
+        memsys = MemorySystem(config.memory, l1_write_back=config.l1_write_back)
+        ipdom = immediate_post_dominators(kernel)
+        stats = SMStats()
+
+        ws = config.warp_size
+        n_warps = -(-n_threads // ws)
+        stats.warps_launched = n_warps
+
+        max_resident = config.max_resident_warps
+        if config.model_occupancy:
+            # The register file bounds occupancy: each resident warp
+            # holds `pressure` registers x 32 lanes x 4 bytes.
+            pressure = _register_pressure(kernel)
+            rf_warps = config.register_file_bytes // max(
+                1, 4 * ws * pressure
+            )
+            max_resident = max(2, min(max_resident, rf_warps))
+            stats.register_pressure = pressure
+            stats.resident_warps = min(max_resident, n_warps)
+
+        def make_ctx(warp_id: int) -> _WarpCtx:
+            base = warp_id * ws
+            valid = min(ws, n_threads - base)
+            warp = Warp(warp_id, base, ws, valid, params, memory)
+            stack = SIMTStack(kernel.entry, warp.valid_mask, ipdom)
+            return _WarpCtx(warp, stack, kernel.entry)
+
+        pending = iter(range(max_resident, n_warps))
+        heap: List = []
+        counter = itertools.count()
+        for wid in range(min(max_resident, n_warps)):
+            heapq.heappush(heap, (0.0, next(counter), make_ctx(wid)))
+
+        issue_free = 0.0
+        self._ldst_free = 0.0
+        self._sfu_free = 0.0
+        self._alu_free = 0.0
+        self._mshr_outstanding: List[float] = []
+        horizon = 0.0
+        issue_period = config.issue_period_cycles
+
+        while heap:
+            t, _, ctx = heapq.heappop(heap)
+            block = kernel.blocks[ctx.block]
+            mask = ctx.stack.current().mask
+            active = bin(mask).count("1")
+
+            if ctx.idx < len(block.instrs):
+                instr = block.instrs[ctx.idx]
+                ctx.idx += 1
+                issue = self._operand_ready(ctx, instr, t)
+                issue = max(issue, issue_free)
+                issue_free = issue + issue_period
+                done = self._dispatch(
+                    ctx, instr, mask, active, issue, stats, memsys, config
+                )
+                self._count_rf(stats, instr)
+                stats.instructions_issued += 1
+                stats.lane_ops += active
+                stats.wasted_lane_slots += ws - active
+                horizon = max(horizon, done)
+                ctx.ready = issue + 1.0
+                heapq.heappush(heap, (ctx.ready, next(counter), ctx))
+                continue
+
+            # Block terminator: a branch instruction.
+            term = block.terminator
+            issue = t
+            if term.cond is not None:
+                issue = max(
+                    issue, ctx.reg_ready.get(getattr(term.cond, "name", ""), 0.0)
+                )
+            issue = max(issue, issue_free, self._alu_free)
+            issue_free = issue + issue_period
+            self._alu_free = issue + 1.0
+            stats.instructions_issued += 1
+            stats.branch_instructions += 1
+            stats.lane_ops += active
+            stats.lane_alu_ops += active
+            stats.wasted_lane_slots += ws - active
+            if isinstance(term.cond, Reg):
+                stats.rf_reads += 1
+            horizon = max(horizon, issue + 1.0)
+
+            targets = ctx.warp.exec_terminator(term, mask)
+            before = ctx.stack.divergences
+            ctx.stack.advance(ctx.block, targets)
+            stats.divergences += ctx.stack.divergences - before
+            next_block = ctx.stack.peek_block()
+            if next_block is None:
+                # Warp finished; a pending warp takes its slot.
+                nxt = next(pending, None)
+                if nxt is not None:
+                    heapq.heappush(
+                        heap, (issue + 1.0, next(counter), make_ctx(nxt))
+                    )
+                continue
+            ctx.block = next_block
+            ctx.idx = 0
+            ctx.ready = issue + 1.0
+            heapq.heappush(heap, (ctx.ready, next(counter), ctx))
+
+        return FermiRunResult(
+            kernel_name=kernel.name,
+            n_threads=n_threads,
+            cycles=horizon,
+            sm=stats,
+            l1=memsys.l1_stats,
+            l2=memsys.l2_stats,
+            dram=memsys.dram.stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _operand_ready(self, ctx: _WarpCtx, instr: Instr, t: float) -> float:
+        ready = max(t, ctx.ready)
+        for src in instr.srcs:
+            if isinstance(src, Reg):
+                ready = max(ready, ctx.reg_ready.get(src.name, 0.0))
+        return ready
+
+    def _dispatch(
+        self,
+        ctx: _WarpCtx,
+        instr: Instr,
+        mask: int,
+        active: int,
+        issue: float,
+        stats: SMStats,
+        memsys: MemorySystem,
+        config: FermiConfig,
+    ) -> float:
+        cls = unit_class(instr.op)
+        if cls is UnitClass.MEMORY:
+            stats.mem_instructions += 1
+            stats.lane_mem_ops += active
+            mem_ops = ctx.warp.exec_instr(instr, mask)
+            is_write = instr.op is Op.STORE
+            segments = coalesce_word_addresses(
+                [m.word_addr for m in mem_ops], config.memory.l1_line_bytes
+            )
+            completion = issue
+            start = issue
+            for seg in segments:
+                start = max(start, self._ldst_free)
+                self._ldst_free = start + config.ldst_throughput_cycles
+                misses_before = memsys.l1.stats.misses
+                done = memsys.access_line(start, seg, is_write)
+                if memsys.l1.stats.misses > misses_before:
+                    done += self._miss_penalty(start, done, config)
+                completion = max(completion, done)
+                stats.mem_transactions += 1
+            if instr.op is Op.LOAD:
+                ctx.reg_ready[instr.dst] = completion
+                return completion
+            # Stores are posted: the warp does not wait for them.
+            return issue + 1.0
+
+        if cls is UnitClass.SPECIAL:
+            stats.sfu_instructions += 1
+            stats.lane_sfu_ops += active
+            ctx.warp.exec_instr(instr, mask)
+            start = max(issue, self._sfu_free)
+            self._sfu_free = start + config.sfu_throughput_cycles
+            done = start + config.sfu_latency
+            ctx.reg_ready[instr.dst] = done
+            return done
+
+        stats.alu_instructions += 1
+        if instr.op.value.startswith("f") or instr.op.value == "i2f":
+            stats.lane_fpu_ops += active
+        else:
+            stats.lane_alu_ops += active
+        ctx.warp.exec_instr(instr, mask)
+        # The 32 CUDA cores execute one full warp instruction per cycle;
+        # dual issue only helps when pairing ALU with LDST/SFU work.
+        start = max(issue, self._alu_free)
+        self._alu_free = start + 1.0
+        done = start + config.alu_latency
+        if instr.dst is not None:
+            ctx.reg_ready[instr.dst] = done
+        return done
+
+    def _miss_penalty(self, start: float, done: float,
+                      config: FermiConfig) -> float:
+        """Baseline-sensitivity costs of an L1 miss (both off by default).
+
+        Replay re-occupies the LDST pipe; a full MSHR file stalls the
+        pipe until the oldest outstanding miss returns."""
+        penalty = 0.0
+        if config.miss_replay_cycles:
+            self._ldst_free += config.miss_replay_cycles
+        if config.l1_mshr_limit:
+            heap = self._mshr_outstanding
+            while heap and heap[0] <= start:
+                heapq.heappop(heap)
+            if len(heap) >= config.l1_mshr_limit:
+                wait = max(0.0, heapq.heappop(heap) - start)
+                penalty += wait
+                self._ldst_free += wait
+            heapq.heappush(heap, done + penalty)
+        return penalty
+
+    @staticmethod
+    def _count_rf(stats: SMStats, instr: Instr) -> None:
+        """One RF access per register operand, counted once for the whole
+        warp (paper Figure 3's accounting).  Reserved registers (thread
+        index, kernel parameters) count too: on a real SM they live in
+        ordinary registers loaded at kernel entry."""
+        for src in instr.srcs:
+            if isinstance(src, Reg):
+                stats.rf_reads += 1
+        if instr.dst is not None:
+            stats.rf_writes += 1

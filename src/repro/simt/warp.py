@@ -1,0 +1,107 @@
+"""Warp state and per-lane functional execution.
+
+A warp holds 32 lanes' architectural register state and executes one IR
+instruction at a time under an active-lane mask.  The evaluation reuses
+the exact :data:`repro.ir.instr.EVAL` semantics of the interpreter and
+the MT-CGRF executor, so all machines are functionally identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.interp.interpreter import _coerce
+from repro.ir.instr import EVAL, Instr, Op, TermKind, Terminator
+from repro.ir.types import Imm, Reg, TID_REG, is_param_reg, PARAM_PREFIX
+from repro.memory.image import MemoryImage
+from repro.simt.simtstack import EXIT
+
+Number = Union[int, float, bool]
+
+
+@dataclass
+class LaneMemOp:
+    """One lane's memory operation (for the coalescer)."""
+
+    lane: int
+    word_addr: int
+
+
+class Warp:
+    """32 data-parallel lanes executing in lockstep under a mask."""
+
+    def __init__(self, warp_id: int, base_tid: int, n_lanes: int,
+                 valid_lanes: int, params: Dict[str, Number],
+                 memory: MemoryImage):
+        self.warp_id = warp_id
+        self.base_tid = base_tid
+        self.n_lanes = n_lanes
+        #: lanes that correspond to real threads (last warp may be partial)
+        self.valid_mask = (1 << valid_lanes) - 1
+        self.params = params
+        self.memory = memory
+        self._regs: Dict[str, List[Number]] = {}
+
+    # ------------------------------------------------------------------
+    def _read(self, operand, lane: int) -> Number:
+        if isinstance(operand, Imm):
+            return operand.value
+        if operand == TID_REG:
+            return self.base_tid + lane
+        if is_param_reg(operand):
+            return self.params[operand.name[len(PARAM_PREFIX):]]
+        return self._regs[operand.name][lane]
+
+    def _write(self, reg: str, lane: int, value: Number) -> None:
+        lanes = self._regs.setdefault(reg, [0] * self.n_lanes)
+        lanes[lane] = value
+
+    @staticmethod
+    def lanes_of(mask: int):
+        lane = 0
+        while mask:
+            if mask & 1:
+                yield lane
+            mask >>= 1
+            lane += 1
+
+    # ------------------------------------------------------------------
+    def exec_instr(self, instr: Instr, mask: int) -> List[LaneMemOp]:
+        """Execute one instruction on all lanes in ``mask``.
+
+        Returns the lane memory operations (empty for non-memory ops) so
+        the SM can coalesce and time them.
+        """
+        mem_ops: List[LaneMemOp] = []
+        if instr.op is Op.LOAD:
+            for lane in self.lanes_of(mask):
+                addr = int(self._read(instr.srcs[0], lane))
+                self._write(
+                    instr.dst, lane, _coerce(self.memory.read(addr), instr.dtype)
+                )
+                mem_ops.append(LaneMemOp(lane, addr))
+        elif instr.op is Op.STORE:
+            for lane in self.lanes_of(mask):
+                addr = int(self._read(instr.srcs[0], lane))
+                self.memory.write(addr, self._read(instr.srcs[1], lane))
+                mem_ops.append(LaneMemOp(lane, addr))
+        else:
+            fn = EVAL[instr.op]
+            for lane in self.lanes_of(mask):
+                args = [self._read(s, lane) for s in instr.srcs]
+                self._write(instr.dst, lane, _coerce(fn(*args), instr.dtype))
+        return mem_ops
+
+    def exec_terminator(self, term: Terminator, mask: int) -> Dict[str, int]:
+        """Resolve the block terminator per lane; returns target -> mask."""
+        if term.kind is TermKind.RET:
+            return {EXIT: mask}
+        if term.kind is TermKind.JMP:
+            return {term.true_target: mask}
+        targets: Dict[str, int] = {}
+        for lane in self.lanes_of(mask):
+            taken = bool(self._read(term.cond, lane))
+            target = term.true_target if taken else term.false_target
+            targets[target] = targets.get(target, 0) | (1 << lane)
+        return targets

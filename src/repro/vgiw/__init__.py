@@ -1,0 +1,30 @@
+"""The VGIW processor: BBS, CVT, LVC, and the MT-CGRF execution core."""
+
+from repro.vgiw.bbs import (
+    BBSStats,
+    batch_popcount,
+    iter_batch_tids,
+    make_batches,
+    terminator_batches,
+)
+from repro.vgiw.core import VGIWCore, VGIWRunResult
+from repro.vgiw.cvt import ControlVectorTable, CVTError, CVTStats
+from repro.vgiw.mtcgrf import FabricStats, MTCGRFExecutor, ThreadOutcome
+from repro.vgiw.visualize import render_timeline
+
+__all__ = [
+    "BBSStats",
+    "CVTError",
+    "CVTStats",
+    "ControlVectorTable",
+    "FabricStats",
+    "MTCGRFExecutor",
+    "ThreadOutcome",
+    "VGIWCore",
+    "VGIWRunResult",
+    "batch_popcount",
+    "iter_batch_tids",
+    "make_batches",
+    "render_timeline",
+    "terminator_batches",
+]

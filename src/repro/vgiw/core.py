@@ -1,0 +1,261 @@
+"""The VGIW processor core (paper §3, Figure 4).
+
+``VGIWCore.run`` executes a kernel launch end to end:
+
+1. the kernel is compiled (unless a :class:`CompiledKernel` is given);
+2. threads are *tiled* so the CVT can track them
+   (``tile = CVT bits / #basic blocks``, paper §3.2);
+3. for each tile, the entry vector (block ID 0) is fully set, and the
+   BBS loop runs: pick the smallest non-empty block ID, reconfigure the
+   fabric (34 cycles for the 108-unit grid; skipped when the grid
+   already holds that block), stream the block's thread vector through
+   the MT-CGRF, and OR the terminator batches back into the CVT;
+4. the run result carries cycle counts and every event counter the
+   energy model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.arch.config import VGIWConfig
+from repro.compiler.pipeline import CompiledKernel, compile_kernel
+from repro.ir.kernel import Kernel
+from repro.memory.cache import CacheStats
+from repro.memory.dram import DRAMStats
+from repro.memory.hierarchy import LiveValueCache, MemorySystem
+from repro.memory.image import MemoryImage
+from repro.vgiw.bbs import BBSStats, iter_batch_tids, terminator_batches
+from repro.vgiw.cvt import ControlVectorTable, CVTStats
+from repro.vgiw.mtcgrf import FabricStats, MTCGRFExecutor
+
+Number = Union[int, float, bool]
+
+
+@dataclass
+class BlockExecution:
+    """Profile record of one scheduled block execution."""
+
+    block: str
+    block_id: int
+    n_threads: int
+    start: float
+    end: float
+    replicas: int
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    @property
+    def inject_cycles(self) -> float:
+        """The injection-limited lower bound for this execution."""
+        return self.n_threads / self.replicas
+
+
+@dataclass
+class VGIWRunResult:
+    """Everything measured during one kernel launch on a VGIW core."""
+
+    kernel_name: str
+    n_threads: int
+    cycles: float
+    fabric: FabricStats
+    bbs: BBSStats
+    cvt: CVTStats
+    lvc_reads: int
+    lvc_writes: int
+    lvc_bank_accesses: int
+    lvc_buffered: int
+    lvc_stats: CacheStats
+    l1: CacheStats
+    l2: CacheStats
+    dram: DRAMStats
+    n_blocks: int
+    n_live_values: int
+    tiles: int
+    #: per-execution profile records (populated when profiling is on)
+    block_profile: List[BlockExecution] = field(default_factory=list)
+
+    @property
+    def lvc_accesses(self) -> int:
+        return self.lvc_reads + self.lvc_writes
+
+    @property
+    def config_overhead(self) -> float:
+        """Reconfiguration cycles / total cycles (paper §3.2: ~0.18%)."""
+        return self.bbs.config_overhead(self.cycles)
+
+    def profile_by_block(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate the profile per static block: executions, threads,
+        total span, and the injection-limited lower bound."""
+        agg: Dict[str, Dict[str, float]] = {}
+        for rec in self.block_profile:
+            entry = agg.setdefault(
+                rec.block,
+                {"executions": 0, "threads": 0, "span": 0.0, "inject": 0.0},
+            )
+            entry["executions"] += 1
+            entry["threads"] += rec.n_threads
+            entry["span"] += rec.span
+            entry["inject"] += rec.inject_cycles
+        return agg
+
+
+class VGIWCore:
+    """A single VGIW core attached to the standard memory hierarchy."""
+
+    def __init__(self, config: Optional[VGIWConfig] = None):
+        self.config = config or VGIWConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kernel: Union[Kernel, CompiledKernel],
+        memory: MemoryImage,
+        params: Dict[str, Number],
+        n_threads: int,
+        max_block_executions: int = 1_000_000,
+        profile: bool = False,
+    ) -> VGIWRunResult:
+        """Execute ``n_threads`` of ``kernel`` against ``memory``."""
+        config = self.config
+        compiled = (
+            kernel
+            if isinstance(kernel, CompiledKernel)
+            else compile_kernel(kernel, config.fabric)
+        )
+        kernel_obj = compiled.kernel
+        params = {
+            name: (
+                float(params[name])
+                if kernel_obj.param_dtypes[name].value == "float"
+                else int(params[name])
+            )
+            for name in kernel_obj.params
+        }
+
+        memsys = MemorySystem(config.memory, l1_write_back=config.l1_write_back)
+        lvc = LiveValueCache(
+            size_bytes=config.lvc_size_bytes,
+            line_bytes=config.lvc_line_bytes,
+            ways=config.lvc_ways,
+            banks=config.lvc_banks,
+            hit_latency=config.lvc_hit_latency,
+            l2=memsys.l2,
+        )
+        executor = MTCGRFExecutor(config, memsys, lvc, memory, params)
+        bbs = BBSStats()
+        cvt_stats_total = CVTStats()
+
+        profile_records: List[BlockExecution] = []
+        n_blocks = compiled.n_blocks
+        # Thread tiling (paper section 3.2): the CVT bounds how many
+        # threads can be tracked, and — the reason the paper says tiling
+        # "generally prevents" LVC spills to memory — the tile's live-
+        # value footprint must stay within what the LVC + L2 can hold.
+        cvt_tile = config.cvt_bits // max(1, n_blocks)
+        lv_words = 4 * max(1, compiled.n_live_values)
+        # Leave half the L2 for kernel data.
+        lvc_tile = config.memory.l2_size_bytes // (2 * lv_words)
+        tile_size = max(64, min(cvt_tile, lvc_tile))
+        time = 0.0
+        tiles = 0
+
+        for tile_base in range(0, n_threads, tile_size):
+            tiles += 1
+            tile_threads = min(tile_size, n_threads - tile_base)
+            cvt = ControlVectorTable(
+                n_blocks, tile_threads, config.cvt_banks, config.cvt_word_bits
+            )
+            cvt.activate_all(0)
+            configured_block: Optional[int] = None
+
+            policy = config.bbs_policy
+            last_block: Optional[int] = None
+
+            def select() -> Optional[int]:
+                if policy == "largest_vector":
+                    return cvt.largest_vector()
+                if policy == "round_robin":
+                    return cvt.next_nonempty(last_block)
+                return cvt.first_nonempty()
+
+            executions = 0
+            while (block_id := select()) is not None:
+                last_block = block_id
+                executions += 1
+                if executions > max_block_executions:
+                    raise RuntimeError(
+                        f"kernel {kernel_obj.name}: runaway block scheduling "
+                        f"(> {max_block_executions} block executions)"
+                    )
+                cb = compiled.block_by_id(block_id)
+
+                # Reconfigure unless the grid already holds this block.
+                if configured_block != block_id:
+                    bbs.reconfigurations += 1
+                    bbs.config_cycles += config.fabric.config_cycles
+                    time += config.fabric.config_cycles
+                    configured_block = block_id
+
+                batches = list(cvt.pop_batches(block_id))
+                tids: List[int] = []
+                for base, bitmap in batches:
+                    bbs.batches_sent += 1
+                    tids.extend(
+                        tile_base + t for t in iter_batch_tids(base, bitmap)
+                    )
+                bbs.threads_streamed += len(tids)
+                bbs.blocks_executed += 1
+
+                outcomes, end_time = executor.execute_block(cb, tids, time)
+                if profile:
+                    profile_records.append(BlockExecution(
+                        block=cb.name, block_id=block_id,
+                        n_threads=len(tids), start=time, end=end_time,
+                        replicas=cb.n_replicas,
+                    ))
+                time = end_time
+
+                # Each replica's terminator CVU assembles batch packets
+                # in completion order with two open batches per target
+                # (paper section 3.5); out-of-order completion flushes
+                # partial batches, which cost extra CVT writes.
+                per_replica: Dict[int, List] = {}
+                for oc in outcomes:
+                    per_replica.setdefault(oc.replica, []).append(oc)
+                for replica_outcomes in per_replica.values():
+                    for target, base, bitmap in terminator_batches(
+                        replica_outcomes, tid_offset=tile_base
+                    ):
+                        bbs.batches_received += 1
+                        cvt.or_batch(
+                            compiled.schedule.id_of(target), base, bitmap
+                        )
+                cvt.check_invariant()
+
+            cvt_stats_total.word_reads += cvt.stats.word_reads
+            cvt_stats_total.word_writes += cvt.stats.word_writes
+
+        return VGIWRunResult(
+            kernel_name=kernel_obj.name,
+            n_threads=n_threads,
+            cycles=time,
+            fabric=executor.stats,
+            bbs=bbs,
+            cvt=cvt_stats_total,
+            lvc_reads=lvc.reads,
+            lvc_writes=lvc.writes,
+            lvc_bank_accesses=lvc.bank_accesses,
+            lvc_buffered=lvc.buffered,
+            lvc_stats=lvc.stats,
+            l1=memsys.l1_stats,
+            l2=memsys.l2_stats,
+            dram=memsys.dram.stats,
+            n_blocks=n_blocks,
+            n_live_values=compiled.n_live_values,
+            tiles=tiles,
+            block_profile=profile_records,
+        )

@@ -1,0 +1,134 @@
+"""Control Vector Table (paper §3.3).
+
+The CVT associates each basic-block ID with a bit vector indexed by
+thread ID; a set bit means that thread must execute that block next.
+The structure delivers 64-bit words, is partitioned into 8 banks, and
+uses a *read-and-reset* policy (reads clear the word, avoiding a second
+write port).  Updates from the terminator CVUs are OR-ed into the table
+because a block may be reached over multiple control-flow paths.
+
+The model keeps each block vector as one Python integer bitmap and
+counts word-granularity reads/writes for the energy model.  The defining
+invariant — a thread ID's bit is set in at most one entry at any time —
+is checked on demand (and continuously by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+@dataclass
+class CVTStats:
+    word_reads: int = 0
+    word_writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.word_reads + self.word_writes
+
+
+class CVTError(Exception):
+    """Protocol violation (double registration, bad thread ID)."""
+
+
+class ControlVectorTable:
+    """Per-block thread bit vectors with batch-granularity access."""
+
+    def __init__(self, n_blocks: int, n_threads: int, banks: int = 8,
+                 word_bits: int = 64):
+        if n_blocks < 1 or n_threads < 1:
+            raise CVTError("CVT needs at least one block and one thread")
+        self.n_blocks = n_blocks
+        self.n_threads = n_threads
+        self.banks = banks
+        self.word_bits = word_bits
+        self._vectors: List[int] = [0] * n_blocks
+        self.stats = CVTStats()
+
+    # ------------------------------------------------------------------
+    def activate_all(self, block_id: int) -> None:
+        """Set every thread's bit in ``block_id`` (kernel launch: the
+        runtime signals the BBS to set all bits of entry vector 0)."""
+        mask = (1 << self.n_threads) - 1
+        self._vectors[block_id] = mask
+        self.stats.word_writes += -(-self.n_threads // self.word_bits)
+
+    def or_batch(self, block_id: int, base_tid: int, bitmap: int) -> None:
+        """OR a ⟨base thread ID, bitmap⟩ batch into a block's vector."""
+        if bitmap == 0:
+            return
+        if bitmap >> self.word_bits:
+            raise CVTError(f"bitmap wider than {self.word_bits} bits")
+        if base_tid % self.word_bits:
+            raise CVTError("batch base must be word-aligned")
+        top = base_tid + bitmap.bit_length()
+        if top > self.n_threads:
+            raise CVTError(f"thread {top - 1} out of range")
+        self._vectors[block_id] |= bitmap << base_tid
+        self.stats.word_writes += 1
+
+    def pop_batches(self, block_id: int) -> Iterator[Tuple[int, int]]:
+        """Yield and clear the block's ⟨base, bitmap⟩ batches
+        (read-and-reset, word by word)."""
+        vec = self._vectors[block_id]
+        self._vectors[block_id] = 0
+        base = 0
+        word_mask = (1 << self.word_bits) - 1
+        while vec:
+            word = vec & word_mask
+            if word:
+                self.stats.word_reads += 1
+                yield base, word
+            vec >>= self.word_bits
+            base += self.word_bits
+
+    # ------------------------------------------------------------------
+    def is_empty(self, block_id: int) -> bool:
+        return self._vectors[block_id] == 0
+
+    def first_nonempty(self) -> Optional[int]:
+        """The paper's BBS scheduling policy: smallest block ID with
+        pending threads (paper §3.1)."""
+        for block_id, vec in enumerate(self._vectors):
+            if vec:
+                return block_id
+        return None
+
+    def largest_vector(self) -> Optional[int]:
+        """Alternative policy (ablation): the block with the most
+        pending threads, maximising injection-bandwidth amortisation."""
+        best: Optional[int] = None
+        best_count = 0
+        for block_id, vec in enumerate(self._vectors):
+            count = bin(vec).count("1")
+            if count > best_count:
+                best, best_count = block_id, count
+        return best
+
+    def next_nonempty(self, after: Optional[int]) -> Optional[int]:
+        """Alternative policy (ablation): round-robin over block IDs
+        starting just past the previously executed block."""
+        start = 0 if after is None else (after + 1) % self.n_blocks
+        for offset in range(self.n_blocks):
+            block_id = (start + offset) % self.n_blocks
+            if self._vectors[block_id]:
+                return block_id
+        return None
+
+    def pending_count(self, block_id: int) -> int:
+        return bin(self._vectors[block_id]).count("1")
+
+    def check_invariant(self) -> None:
+        """A thread bit may be set in at most one block vector."""
+        seen = 0
+        for block_id, vec in enumerate(self._vectors):
+            overlap = seen & vec
+            if overlap:
+                tid = (overlap & -overlap).bit_length() - 1
+                raise CVTError(
+                    f"thread {tid} registered in multiple block vectors "
+                    f"(second: block {block_id})"
+                )
+            seen |= vec

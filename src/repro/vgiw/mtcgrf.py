@@ -1,0 +1,378 @@
+"""MT-CGRF execution engine: streams thread vectors through a configured
+basic-block dataflow graph.
+
+The model is event-ordered per thread over the placed graph:
+
+* threads are injected by the initiator CVUs, one per cycle per replica
+  (paper §2: "a new thread can thus be injected into the computational
+  fabric on every cycle");
+* the token buffer bounds the threads in flight per replica (virtual
+  execution channels, paper §3.5) — injection stalls until a window slot
+  frees, which is exactly what back-pressure through full token buffers
+  does;
+* each node issues on its physical unit (one issue per cycle — the units
+  are pipelined, II = 1), SCU operations additionally occupy one of the
+  unit's non-pipelined instances for the operation latency, and LDST /
+  LVU operations occupy a reservation-buffer entry until the memory
+  system answers (this is what lets later threads overtake memory-stalled
+  ones: dynamic, tagged-token dataflow);
+* results travel to consumer units over the switched interconnect at one
+  cycle per hop, with hop counts from the placement.
+
+Functional values are computed alongside timing, so the executor is also
+an exact functional model (asserted against the interpreter in tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.arch.config import UnitKind, VGIWConfig, op_latency_for
+from repro.compiler.dfg import (
+    BlockDFG,
+    ImmSrc,
+    NodeKind,
+    NodeSrc,
+    ParamSrc,
+    TidSrc,
+)
+from repro.compiler.pipeline import CompiledBlock
+from repro.ir.instr import EVAL, Op, TermKind
+from repro.ir.types import DType
+from repro.memory.hierarchy import LiveValueCache, MemorySystem
+from repro.memory.image import MemoryImage
+
+Number = Union[int, float, bool]
+
+
+@dataclass
+class FabricStats:
+    """Event counts accumulated by the fabric (feeds the energy model)."""
+
+    ops: Counter = field(default_factory=Counter)  # 'alu','fpu','scu',...
+    tokens: int = 0        # token-buffer write+read pairs
+    token_hops: int = 0    # switch traversals
+    threads: int = 0
+    node_fires: int = 0
+
+    def merge(self, other: "FabricStats") -> None:
+        self.ops.update(other.ops)
+        self.tokens += other.tokens
+        self.token_hops += other.token_hops
+        self.threads += other.threads
+        self.node_fires += other.node_fires
+
+    def utilization(self, cycles: float, spec) -> Dict[str, float]:
+        """Average per-kind unit utilisation over a run.
+
+        Every node fire occupies its unit for one issue cycle (II = 1),
+        so utilisation = fires / (cycles x units of that kind).  This is
+        the quantity behind the paper's "the VGIW spatial design can
+        operate all its 108 functional units concurrently" argument —
+        and behind Figure 1c/1d's under-utilisation story.
+        """
+        from repro.arch.config import UnitKind
+
+        kind_units = {
+            "alu": spec.counts[UnitKind.COMPUTE],
+            "fpu": spec.counts[UnitKind.COMPUTE],
+            "scu": spec.counts[UnitKind.SPECIAL],
+            "ldst": spec.counts[UnitKind.LDST],
+            "lvu": spec.counts[UnitKind.LVU],
+            "sju": spec.counts[UnitKind.SJU],
+            "cvu": spec.counts[UnitKind.CVU],
+        }
+        if cycles <= 0:
+            return {k: 0.0 for k in kind_units}
+        out: Dict[str, float] = {}
+        for kind, units in kind_units.items():
+            out[kind] = self.ops.get(kind, 0) / (cycles * units)
+        # The compute units serve both ALU and FPU fires.
+        compute = (self.ops.get("alu", 0) + self.ops.get("fpu", 0)) / (
+            cycles * spec.counts[UnitKind.COMPUTE]
+        )
+        out["compute"] = compute
+        out["overall"] = self.node_fires / (cycles * spec.total_units)
+        return out
+
+
+@dataclass
+class ThreadOutcome:
+    """Result of streaming one thread through a block."""
+
+    tid: int
+    next_block: Optional[str]
+    completion: float
+    replica: int = 0  # which replica's terminator CVU produced this
+
+
+_FLOAT_OPS_PREFIX = "f"
+
+
+def _op_energy_class(node, op: Optional[Op]) -> str:
+    kind = node.kind
+    if kind in (NodeKind.INIT, NodeKind.TERM):
+        return "cvu"
+    if kind in (NodeKind.LVLOAD, NodeKind.LVSTORE):
+        return "lvu"
+    if kind in (NodeKind.LOAD, NodeKind.STORE):
+        return "ldst"
+    if kind in (NodeKind.SPLIT, NodeKind.JOIN):
+        return "sju"
+    if node.unit_kind is UnitKind.SPECIAL:
+        return "scu"
+    if op is not None and op.value.startswith(_FLOAT_OPS_PREFIX):
+        return "fpu"
+    return "alu"
+
+
+class _ReplicaState:
+    """Per-replica physical resource timelines.
+
+    Units issue one operation per cycle (II = 1), modelled as per-unit
+    *calendars* (occupied-cycle sets with backfill) rather than monotone
+    free pointers: the simulators process whole threads sequentially, so
+    a late-processed thread's early tokens must be able to claim idle
+    unit cycles that logically preceded already-recorded traffic —
+    exactly what tagged-token hardware does.
+    """
+
+    def __init__(self, config: VGIWConfig):
+        self.unit_busy: Dict[int, set] = {}
+        self.unit_high: Dict[int, int] = {}
+        self.scu_pool: Dict[int, List[float]] = {}
+        self.ldst_outstanding: Dict[int, List[float]] = {}
+        self.config = config
+        self.next_inject: float = 0.0
+        self.window: List[float] = []  # completion times, injection order
+
+    @staticmethod
+    def _claim(busy_map: Dict[int, set], high_map: Dict[int, int],
+               uid: int, ready: float) -> float:
+        """Claim the first free cycle of a per-unit calendar."""
+        t = int(ready) if ready == int(ready) else int(ready) + 1
+        busy = busy_map.get(uid)
+        if busy is None:
+            busy = set()
+            busy_map[uid] = busy
+        start = t
+        if start <= high_map.get(uid, -1):
+            while start in busy:
+                start += 1
+        busy.add(start)
+        if start > high_map.get(uid, -1):
+            high_map[uid] = start
+        return float(start)
+
+    def issue(self, uid: int, ready: float) -> float:
+        """Claim the unit's first free issue cycle at or after ``ready``.
+
+        The issue port doubles as the output port: one result per cycle
+        leaves the unit, and the switch replicates it to all consumers
+        (the fanout bound is enforced statically by split insertion)."""
+        return self._claim(self.unit_busy, self.unit_high, uid, ready)
+
+    def issue_scu(self, uid: int, ready: float, latency: int) -> float:
+        pool = self.scu_pool.setdefault(
+            uid, [0.0] * self.config.scu_instances
+        )
+        earliest = heapq.heappop(pool)
+        start = self.issue(uid, max(ready, earliest))
+        heapq.heappush(pool, start + latency)
+        return start
+
+    def issue_mem(self, uid: int, ready: float, entries: int) -> float:
+        out = self.ldst_outstanding.setdefault(uid, [])
+        if len(out) >= entries:
+            ready = max(ready, heapq.heappop(out))
+        return self.issue(uid, ready)
+
+    def retire_mem(self, uid: int, completion: float) -> None:
+        heapq.heappush(self.ldst_outstanding[uid], completion)
+
+
+class MTCGRFExecutor:
+    """Executes compiled blocks for vectors of threads."""
+
+    def __init__(
+        self,
+        config: VGIWConfig,
+        memsys: MemorySystem,
+        lvc: LiveValueCache,
+        memory: MemoryImage,
+        params: Dict[str, Number],
+    ):
+        self.config = config
+        self.memsys = memsys
+        self.lvc = lvc
+        self.memory = memory
+        self.params = params
+        self.stats = FabricStats()
+        #: functional live-value matrix: (lv_id, tid) -> value
+        self.lv_values: Dict[Tuple[int, int], Number] = {}
+
+    # ------------------------------------------------------------------
+    def execute_block(
+        self,
+        cb: CompiledBlock,
+        thread_ids: List[int],
+        start_time: float,
+    ) -> Tuple[List[ThreadOutcome], float]:
+        """Stream ``thread_ids`` through block ``cb`` starting at
+        ``start_time``; return per-thread outcomes and the cycle at
+        which the whole vector has drained."""
+        n_replicas = cb.n_replicas
+        replicas = [_ReplicaState(self.config) for _ in range(n_replicas)]
+        for r in replicas:
+            r.next_inject = start_time
+
+        outcomes: List[ThreadOutcome] = []
+        end_time = start_time
+        depth = self.config.token_buffer_depth
+        order = cb.dfg.topo_order()
+        sinks = cb.dfg.sink_nodes()
+
+        for i, tid in enumerate(thread_ids):
+            # The BBS hands out whole 64-thread batch packets to the
+            # replicas' initiator CVUs (paper section 3.2), so replicas
+            # see runs of consecutive thread IDs, not an interleave.
+            ridx = (i // 64) % n_replicas
+            rep = replicas[ridx]
+            placed = cb.placement.replicas[ridx]
+            inject = rep.next_inject
+            if len(rep.window) >= depth:
+                inject = max(inject, rep.window[len(rep.window) - depth])
+            outcome, completion = self._run_thread(
+                cb.dfg, order, sinks, placed, rep, tid, inject
+            )
+            outcome.replica = ridx
+            rep.next_inject = inject + 1.0
+            rep.window.append(completion)
+            outcomes.append(outcome)
+            end_time = max(end_time, completion)
+
+        self.stats.threads += len(thread_ids)
+        return outcomes, end_time
+
+    # ------------------------------------------------------------------
+    def _run_thread(
+        self,
+        dfg: BlockDFG,
+        order: List[int],
+        sinks: List[int],
+        placed,
+        rep: _ReplicaState,
+        tid: int,
+        inject: float,
+    ) -> Tuple[ThreadOutcome, float]:
+        config = self.config
+        done: Dict[int, float] = {}
+        value: Dict[int, Number] = {}
+        next_block: Optional[str] = None
+        stats = self.stats
+
+        def src_value(src) -> Number:
+            if isinstance(src, NodeSrc):
+                return value[src.node]
+            if isinstance(src, ImmSrc):
+                return src.value
+            if isinstance(src, ParamSrc):
+                return self.params[src.name]
+            return tid  # TidSrc
+
+        for nid in order:
+            node = dfg.node(nid)
+            uid = placed.unit_of[nid]
+            # Arrival of the latest input token.  A producer's switch
+            # replicates one token to all of its (fanout-bounded, see
+            # the compiler's split insertion) consumers in the same
+            # cycle, so delivery costs only the routed hop latency.
+            ready = inject
+            for up in node.input_nodes():
+                ready = max(ready, done[up] + placed.edge_hops[(up, nid)])
+
+            kind = node.kind
+            if kind is NodeKind.INIT:
+                done[nid] = inject
+                value[nid] = tid
+            elif kind is NodeKind.LVLOAD:
+                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
+                completion = self.lvc.access(
+                    start, node.lv_id, tid, False, port=uid
+                )
+                rep.retire_mem(uid, completion)
+                done[nid] = completion
+                try:
+                    value[nid] = self.lv_values[(node.lv_id, tid)]
+                except KeyError:
+                    raise RuntimeError(
+                        f"thread {tid} fetches live value {node.lv_id} "
+                        f"(%{node.out_reg}) before any block stored it"
+                    ) from None
+            elif kind is NodeKind.LVSTORE:
+                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
+                completion = self.lvc.access(
+                    start, node.lv_id, tid, True, port=uid
+                )
+                rep.retire_mem(uid, completion)
+                done[nid] = completion
+                self.lv_values[(node.lv_id, tid)] = src_value(node.srcs[0])
+            elif kind is NodeKind.LOAD:
+                addr = int(src_value(node.srcs[0]))
+                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
+                completion = self.memsys.access_word(start, addr, False)
+                rep.retire_mem(uid, completion)
+                done[nid] = completion
+                raw = self.memory.read(addr)
+                value[nid] = int(raw) if node.dtype is DType.INT else raw
+            elif kind is NodeKind.STORE:
+                addr = int(src_value(node.srcs[0]))
+                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
+                completion = self.memsys.access_word(start, addr, True)
+                rep.retire_mem(uid, completion)
+                done[nid] = completion
+                self.memory.write(addr, src_value(node.srcs[1]))
+            elif kind is NodeKind.TERM:
+                start = rep.issue(uid, ready)
+                done[nid] = start + 1.0
+                next_block = self._resolve_target(dfg, node, src_value)
+            elif kind in (NodeKind.SPLIT, NodeKind.JOIN):
+                start = rep.issue(uid, ready)
+                done[nid] = start + config.op_latency["split"]
+                if kind is NodeKind.SPLIT:
+                    value[nid] = src_value(node.srcs[0])
+            else:  # OP
+                latency = op_latency_for(node.op, config.op_latency)
+                if node.unit_kind is UnitKind.SPECIAL:
+                    start = rep.issue_scu(uid, ready, latency)
+                else:
+                    start = rep.issue(uid, ready)
+                done[nid] = start + latency
+                args = [src_value(s) for s in node.srcs]
+                result = EVAL[node.op](*args)
+                if node.dtype is DType.INT:
+                    result = int(result)
+                elif node.dtype is DType.FLOAT:
+                    result = float(result)
+                value[nid] = result
+
+            stats.node_fires += 1
+            stats.tokens += 1
+            stats.ops[_op_energy_class(node, node.op)] += 1
+            for up in node.input_nodes():
+                stats.token_hops += placed.edge_hops[(up, nid)]
+
+        completion = max(done[s] for s in sinks)
+        return ThreadOutcome(tid, next_block, completion), completion
+
+    @staticmethod
+    def _resolve_target(dfg: BlockDFG, node, src_value) -> Optional[str]:
+        if dfg.term_kind is TermKind.RET:
+            return None
+        if dfg.term_kind is TermKind.JMP:
+            return dfg.true_target
+        taken = bool(src_value(node.srcs[0]))
+        return dfg.true_target if taken else dfg.false_target

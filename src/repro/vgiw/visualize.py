@@ -1,0 +1,61 @@
+"""ASCII timeline (Gantt) rendering of a profiled VGIW run.
+
+``render_timeline`` turns ``VGIWRunResult.block_profile`` into the kind
+of execution chart the paper's Figure 1d sketches: one row per block,
+time left to right, `#` where the block occupies the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.vgiw.core import VGIWRunResult
+
+
+def render_timeline(result: VGIWRunResult, width: int = 72,
+                    max_rows: int = 24) -> str:
+    """Render the run's block executions as an ASCII Gantt chart.
+
+    Requires the run to have been made with ``profile=True``.  Rows are
+    static blocks (schedule order); repeated executions of one block
+    (loops, tiles) appear as repeated segments on its row.
+    """
+    profile = result.block_profile
+    if not profile:
+        return "(no profile: run with profile=True)"
+    span = max(rec.end for rec in profile)
+    if span <= 0:
+        return "(empty run)"
+
+    order: List[str] = []
+    for rec in profile:
+        if rec.block not in order:
+            order.append(rec.block)
+    truncated = len(order) > max_rows
+    order = order[:max_rows]
+    label_w = max(len(name) for name in order)
+
+    rows: Dict[str, List[str]] = {
+        name: [" "] * width for name in order
+    }
+    for rec in profile:
+        if rec.block not in rows:
+            continue
+        lo = int(width * rec.start / span)
+        hi = max(lo + 1, int(width * rec.end / span))
+        row = rows[rec.block]
+        for i in range(lo, min(hi, width)):
+            row[i] = "#"
+
+    lines = [
+        f"VGIW timeline: {result.kernel_name} "
+        f"({result.cycles:.0f} cycles, {len(profile)} block executions)"
+    ]
+    for name in order:
+        lines.append(f"{name.ljust(label_w)} |{''.join(rows[name])}|")
+    axis = f"{'cycle'.ljust(label_w)}  0{' ' * (width - 12)}{span:>10.0f}"
+    lines.append(axis)
+    if truncated:
+        lines.append(f"... ({len(set(r.block for r in profile)) - max_rows} "
+                     f"more blocks not shown)")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Tests for architecture configuration dataclasses and latency tables."""
+
+import pytest
+
+from repro.arch import (
+    DEFAULT_OP_LATENCY,
+    FabricSpec,
+    FermiConfig,
+    MemoryConfig,
+    SGMFConfig,
+    UnitKind,
+    VGIWConfig,
+    op_latency_for,
+)
+from repro.ir import Op
+
+
+def test_default_fabric_matches_paper_table1():
+    spec = FabricSpec()
+    assert spec.total_units == 108
+    assert spec.width * spec.height == 108
+    assert spec.counts[UnitKind.COMPUTE] == 32
+    assert spec.counts[UnitKind.SPECIAL] == 12
+    assert spec.counts[UnitKind.LDST] == 16
+    assert spec.counts[UnitKind.LVU] == 16
+    assert spec.counts[UnitKind.SJU] == 16
+    assert spec.counts[UnitKind.CVU] == 16
+
+
+def test_config_cycles_is_34():
+    # Paper section 3.2: reconfiguration takes 34 cycles on the
+    # 108-unit prototype (2 passes of ~sqrt(108) plus reset).
+    assert FabricSpec().config_cycles == 34
+
+
+def test_fabric_counts_must_fill_grid():
+    with pytest.raises(ValueError, match="grid holds"):
+        FabricSpec(width=4, height=4, counts={UnitKind.COMPUTE: 3})
+
+
+def test_memory_config_matches_paper():
+    mem = MemoryConfig()
+    assert mem.l1_size_bytes == 64 * 1024
+    assert mem.l1_banks == 32
+    assert mem.l1_line_bytes == 128
+    assert mem.l1_ways == 4
+    assert mem.l2_size_bytes == 768 * 1024
+    assert mem.l2_banks == 6
+    assert mem.dram_channels == 6
+    assert mem.dram_banks_per_channel == 16
+
+
+def test_vgiw_lvc_is_smaller_than_fermi_rf():
+    # Paper section 3.4 calls the 64KB LVC "4x smaller" than the Fermi
+    # RF; a GTX480 SM actually has a 128KB register file, so we model
+    # the factual 2x ratio and note the discrepancy in DESIGN.md.
+    assert FermiConfig().register_file_bytes == 2 * VGIWConfig().lvc_size_bytes
+
+
+def test_write_policies_differ():
+    # The paper's single memory-system difference (section 3.6/4).
+    assert VGIWConfig().l1_write_back is True
+    assert SGMFConfig().l1_write_back is True
+    assert FermiConfig().l1_write_back is False
+
+
+def test_scu_instances_cover_max_latency():
+    # Section 3.5: a new non-pipelined op can begin every cycle.
+    cfg = VGIWConfig()
+    assert cfg.scu_instances >= max(
+        DEFAULT_OP_LATENCY["div"],
+        DEFAULT_OP_LATENCY["sqrt"],
+        DEFAULT_OP_LATENCY["transcendental"],
+    )
+
+
+@pytest.mark.parametrize("op,key", [
+    (Op.ADD, "int_alu"),
+    (Op.MUL, "int_mul"),
+    (Op.FADD, "fp_alu"),
+    (Op.FMA, "fma"),
+    (Op.LT, "compare"),
+    (Op.SELECT, "select"),
+    (Op.FDIV, "div"),
+    (Op.DIV, "div"),
+    (Op.FSQRT, "sqrt"),
+    (Op.FEXP, "transcendental"),
+])
+def test_op_latency_classes(op, key):
+    assert op_latency_for(op, DEFAULT_OP_LATENCY) == DEFAULT_OP_LATENCY[key]
+
+
+def test_fermi_pipe_throughputs():
+    f = FermiConfig()
+    assert f.ldst_throughput_cycles == 2   # 32 lanes / 16 LDST units
+    assert f.sfu_throughput_cycles == 8    # 32 lanes / 4 SFUs
+
+
+def test_configs_are_frozen():
+    cfg = VGIWConfig()
+    with pytest.raises(Exception):
+        cfg.token_buffer_depth = 1
+
+
+def test_baseline_knobs_default_off():
+    f = FermiConfig()
+    assert f.l1_mshr_limit == 0
+    assert f.miss_replay_cycles == 0

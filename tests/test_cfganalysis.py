@@ -1,0 +1,98 @@
+"""Tests for CFG analyses: RPO, dominators, post-dominators, loops."""
+
+from repro.compiler import (
+    immediate_dominators,
+    immediate_post_dominators,
+    loop_depth,
+    natural_loops,
+    reverse_post_order,
+)
+from repro.ir import KernelBuilder
+from repro.kernels import fig1_kernel, loop_sum_kernel, saxpy_kernel
+
+
+def test_rpo_starts_at_entry_and_covers_all_blocks():
+    k = fig1_kernel()
+    order = reverse_post_order(k)
+    assert order[0] == "entry"
+    assert set(order) == set(k.blocks)
+
+
+def test_rpo_back_edges_target_smaller_ids():
+    k = loop_sum_kernel()
+    order = reverse_post_order(k)
+    pos = {n: i for i, n in enumerate(order)}
+    for name, block in k.blocks.items():
+        for succ in block.successors():
+            if pos[succ] <= pos[name]:
+                # This must be a back edge: the target dominates the source.
+                idom = immediate_dominators(k)
+                node = name
+                while node is not None and node != succ:
+                    node = idom[node]
+                assert node == succ, f"forward edge {name}->{succ} goes backwards"
+
+
+def test_idom_of_diamond():
+    k = fig1_kernel()
+    idom = immediate_dominators(k)
+    assert idom["entry"] is None
+    # Both arms of the outer conditional are dominated by entry.
+    t, f = k.blocks["entry"].terminator.targets()
+    assert idom[t] == "entry"
+    assert idom[f] == "entry"
+
+
+def test_ipdom_diamond_reconverges_at_merge():
+    k = fig1_kernel()
+    ipdom = immediate_post_dominators(k)
+    exit_block = k.exit_blocks()[0]
+    t, f = k.blocks["entry"].terminator.targets()
+    assert ipdom["entry"] == exit_block
+    assert ipdom[t] == exit_block
+    assert ipdom[exit_block] is None
+
+
+def test_ipdom_of_straightline():
+    k = saxpy_kernel()
+    ipdom = immediate_post_dominators(k)
+    exit_block = k.exit_blocks()[0]
+    assert ipdom["entry"] == exit_block
+
+
+def test_natural_loop_membership():
+    k = loop_sum_kernel()
+    loops = natural_loops(k)
+    assert len(loops) == 1
+    ((header, loop),) = loops.items()
+    assert header in loop.body
+    assert len(loop.back_edges) == 1
+    latch, target = loop.back_edges[0]
+    assert target == header
+    assert latch in loop.body
+    # The entry and the epilogue are outside the loop.
+    assert "entry" not in loop.body
+    exit_block = k.exit_blocks()[0]
+    assert exit_block not in loop.body
+
+
+def test_no_loops_in_acyclic_kernels():
+    assert natural_loops(fig1_kernel()) == {}
+    assert natural_loops(saxpy_kernel()) == {}
+
+
+def test_nested_loop_depth():
+    kb = KernelBuilder("nested", params=["out", "n"])
+    acc = kb.var("acc", 0)
+    with kb.for_range(0, kb.param("n")) as i:
+        with kb.for_range(0, kb.param("n")) as j:
+            kb.assign(acc, acc + i + j)
+    kb.store(kb.param("out"), acc)
+    k = kb.build()
+    depth = loop_depth(k)
+    assert max(depth.values()) == 2
+    assert depth["entry"] == 0
+    loops = natural_loops(k)
+    assert len(loops) == 2
+    bodies = sorted(loops.values(), key=lambda l: len(l.body))
+    assert bodies[0].body < bodies[1].body  # inner nested in outer

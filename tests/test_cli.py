@@ -1,0 +1,37 @@
+"""Tests for the `python -m repro.evalharness` CLI."""
+
+import json
+
+import pytest
+
+from repro.evalharness.__main__ import main
+
+
+def test_cli_subset_to_files(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    archive = tmp_path / "runs.json"
+    rc = main([
+        "--scale", "tiny",
+        "--kernels", "nn/euclid,gaussian/Fan1",
+        "--out", str(out),
+        "--json", str(archive),
+    ])
+    assert rc == 0
+    text = out.read_text()
+    assert "Figure 7" in text
+    assert "nn/euclid" in text
+    data = json.loads(archive.read_text())
+    assert set(data) == {"nn/euclid", "gaussian/Fan1"}
+
+
+def test_cli_stdout(capsys):
+    rc = main(["--scale", "tiny", "--kernels", "nn/euclid"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "EXPERIMENTS" in out
+    assert "nn/euclid" in out
+
+
+def test_cli_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        main(["--kernels", "not/a_kernel"])

@@ -1,0 +1,63 @@
+"""Tests for the calibration diff tool and the utilisation report."""
+
+import copy
+
+import pytest
+
+from repro.arch import FabricSpec
+from repro.evalharness.compare import biggest_movers, compare_runs
+from repro.evalharness.runner import run_kernel
+from repro.evalharness.serialize import runs_to_dict
+from repro.kernels import make_fig1_workload
+from repro.vgiw import VGIWCore
+
+
+@pytest.fixture(scope="module")
+def archived():
+    runs = {
+        "nn/euclid": run_kernel("nn/euclid", "tiny"),
+        "gaussian/Fan2": run_kernel("gaussian/Fan2", "tiny"),
+    }
+    return runs_to_dict(runs)
+
+
+def test_compare_identical_runs_is_flat(archived):
+    table = compare_runs(archived, archived)
+    gm = table.rows[-1][3]
+    assert gm == pytest.approx(1.0)
+    for row in table.rows[:-1]:
+        assert row[3] == pytest.approx(1.0)
+
+
+def test_compare_detects_movement(archived):
+    moved = copy.deepcopy(archived)
+    moved["nn/euclid"]["speedup_vs_fermi"] *= 2.0
+    moved["nn/euclid"]["vgiw"]["cycles"] /= 2.0
+    table = compare_runs(archived, moved)
+    row = next(r for r in table.rows if r[0] == "nn/euclid")
+    assert row[3] == pytest.approx(2.0)
+    assert row[4] == pytest.approx(0.5)
+
+    movers = biggest_movers(archived, moved)
+    assert movers[0][0] == "nn/euclid"
+    assert movers[0][1] == pytest.approx(2.0)
+
+
+def test_compare_notes_missing_kernels(archived):
+    partial = {k: v for k, v in archived.items() if k == "nn/euclid"}
+    table = compare_runs(archived, partial)
+    assert any("only one run" in n for n in table.notes)
+
+
+def test_utilization_report():
+    kernel, mem, params = make_fig1_workload(n_threads=512)
+    result = VGIWCore().run(kernel, mem, params, 512)
+    util = result.fabric.utilization(result.cycles, FabricSpec())
+    assert set(util) >= {"alu", "fpu", "scu", "ldst", "lvu", "sju",
+                         "cvu", "compute", "overall"}
+    for kind, value in util.items():
+        assert 0.0 <= value <= 1.0, f"{kind} utilisation {value} out of range"
+    assert util["overall"] > 0.0
+    # Zero cycles edge case.
+    empty = result.fabric.utilization(0, FabricSpec())
+    assert all(v == 0.0 for v in empty.values())

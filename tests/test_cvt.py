@@ -1,0 +1,95 @@
+"""Tests for the Control Vector Table and the BBS batch protocol."""
+
+import pytest
+
+from repro.vgiw import (
+    ControlVectorTable,
+    CVTError,
+    batch_popcount,
+    iter_batch_tids,
+    make_batches,
+)
+
+
+def test_activate_all_sets_every_thread():
+    cvt = ControlVectorTable(n_blocks=3, n_threads=70)
+    cvt.activate_all(0)
+    assert cvt.pending_count(0) == 70
+    assert cvt.first_nonempty() == 0
+    # 70 threads span two 64-bit words.
+    assert cvt.stats.word_writes == 2
+
+
+def test_or_batch_and_pop_roundtrip():
+    cvt = ControlVectorTable(n_blocks=2, n_threads=128)
+    cvt.or_batch(1, 0, 0b1010)
+    cvt.or_batch(1, 64, 0b1)
+    batches = list(cvt.pop_batches(1))
+    assert batches == [(0, 0b1010), (64, 0b1)]
+    # Read-and-reset: the vector is now empty.
+    assert cvt.is_empty(1)
+    assert list(cvt.pop_batches(1)) == []
+
+
+def test_or_merges_multiple_control_flows():
+    cvt = ControlVectorTable(n_blocks=1, n_threads=64)
+    cvt.or_batch(0, 0, 0b0011)
+    cvt.or_batch(0, 0, 0b0110)  # arriving from a different path
+    assert cvt.pending_count(0) == 3
+
+
+def test_first_nonempty_is_smallest_id():
+    cvt = ControlVectorTable(n_blocks=5, n_threads=64)
+    cvt.or_batch(3, 0, 1)
+    cvt.or_batch(1, 0, 2)
+    assert cvt.first_nonempty() == 1
+
+
+def test_invariant_detects_double_registration():
+    cvt = ControlVectorTable(n_blocks=2, n_threads=64)
+    cvt.or_batch(0, 0, 1)
+    cvt.or_batch(1, 0, 1)  # same thread in two vectors
+    with pytest.raises(CVTError, match="multiple block vectors"):
+        cvt.check_invariant()
+
+
+def test_invariant_accepts_disjoint_vectors():
+    cvt = ControlVectorTable(n_blocks=2, n_threads=64)
+    cvt.or_batch(0, 0, 0b0101)
+    cvt.or_batch(1, 0, 0b1010)
+    cvt.check_invariant()
+
+
+def test_unaligned_batch_rejected():
+    cvt = ControlVectorTable(n_blocks=1, n_threads=128)
+    with pytest.raises(CVTError, match="word-aligned"):
+        cvt.or_batch(0, 3, 1)
+
+
+def test_wide_bitmap_rejected():
+    cvt = ControlVectorTable(n_blocks=1, n_threads=256)
+    with pytest.raises(CVTError, match="wider"):
+        cvt.or_batch(0, 0, 1 << 64)
+
+
+def test_out_of_range_thread_rejected():
+    cvt = ControlVectorTable(n_blocks=1, n_threads=10)
+    with pytest.raises(CVTError, match="out of range"):
+        cvt.or_batch(0, 0, 1 << 12)
+
+
+def test_iter_batch_tids():
+    assert list(iter_batch_tids(64, 0b1011)) == [64, 65, 67]
+    assert list(iter_batch_tids(0, 0)) == []
+
+
+def test_make_batches_word_aligned():
+    batches = make_batches([3, 70, 65, 64])
+    assert batches == [(0, 1 << 3), (64, 0b1000011)]
+    # Round trip.
+    tids = sorted(t for base, bm in batches for t in iter_batch_tids(base, bm))
+    assert tids == [3, 64, 65, 70]
+
+
+def test_batch_popcount():
+    assert batch_popcount(0b101101) == 4

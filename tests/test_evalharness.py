@@ -1,0 +1,127 @@
+"""Tests for the evaluation harness: runner, tables, experiments."""
+
+import math
+
+import pytest
+
+from repro.evalharness import (
+    ExperimentTable,
+    arithmean,
+    fig3_lvc_vs_rf,
+    fig7_speedup_vs_fermi,
+    fig8_speedup_vs_sgmf,
+    fig9_energy_vs_fermi,
+    fig10_energy_levels,
+    fig11_energy_vs_sgmf,
+    geomean,
+    run_kernel,
+    run_suite,
+    sec32_reconfiguration_overhead,
+    table1_configuration,
+    table2_benchmarks,
+)
+
+#: a small but representative subset: convergent, divergent, loopy, and
+#: one kernel that does not map onto SGMF.
+SUBSET = [
+    "nn/euclid",
+    "gaussian/Fan2",
+    "bfs/Kernel",
+    "hotspot/hotspot_kernel",
+]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_suite(SUBSET, scale="tiny")
+
+
+def test_run_kernel_verifies_and_measures():
+    run = run_kernel("nn/euclid", scale="tiny")
+    assert run.fermi.cycles > 0
+    assert run.vgiw.cycles > 0
+    assert run.speedup_vs_fermi == run.fermi.cycles / run.vgiw.cycles
+    assert run.efficiency_vs_fermi("core") > 0
+    assert run.sgmf_mappable
+    assert run.speedup_vs_sgmf is not None
+
+
+def test_unmappable_kernel_reports_none():
+    run = run_kernel("hotspot/hotspot_kernel", scale="tiny")
+    assert not run.sgmf_mappable
+    assert run.speedup_vs_sgmf is None
+    assert run.efficiency_vs_sgmf() is None
+
+
+def test_all_figures_render(runs):
+    for fn in (
+        fig3_lvc_vs_rf, fig7_speedup_vs_fermi, fig8_speedup_vs_sgmf,
+        fig9_energy_vs_fermi, fig10_energy_levels, fig11_energy_vs_sgmf,
+        sec32_reconfiguration_overhead,
+    ):
+        table = fn(runs)
+        text = table.render()
+        assert table.experiment in text
+        assert len(table.rows) >= 1
+
+
+def test_table1_static():
+    t = table1_configuration()
+    text = t.render()
+    assert "108" in text
+    assert "34 cycles" in text
+
+
+def test_table2_includes_block_counts(runs):
+    t = table2_benchmarks(runs)
+    row = next(r for r in t.rows if r[2] == "euclid")
+    assert row[3] == 2      # paper's block count
+    assert row[4] is not None  # ours
+
+
+def test_fig8_excludes_unmappable(runs):
+    t = fig8_speedup_vs_sgmf(runs)
+    names = [r[0] for r in t.rows]
+    assert "hotspot/hotspot_kernel" not in names
+    assert any("hotspot" in n for n in t.notes[-1].split())
+
+
+def test_means():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert arithmean([1.0, 3.0]) == 2.0
+    assert geomean([2.0, None]) == 2.0
+    assert math.isnan(geomean([]))
+
+
+def test_characterization_table(runs):
+    from repro.evalharness.experiments import workload_characterization
+
+    t = workload_characterization(runs)
+    assert len(t.rows) == len(runs)
+    for row in t.rows:
+        assert row[1] > 0          # warp instructions
+        assert 0 <= row[2] <= 100  # mem %
+        assert 0 < row[4] <= 1     # SIMD efficiency
+        assert row[7] is None or 1 <= row[7] <= 8  # max replicas
+
+
+def test_bar_rendering(runs):
+    t = fig7_speedup_vs_fermi(runs)
+    bars = t.render_bars("Speedup", "Kernel")
+    assert "#" in bars
+    for name in runs:
+        assert name in bars
+    # Values annotate each bar.
+    assert any(ch.isdigit() for ch in bars.splitlines()[-1])
+
+
+def test_table_rendering_formats():
+    t = ExperimentTable("Test", "title", ["A", "B"])
+    t.add("x", 1.2345)
+    t.add("y", None)
+    t.add("z", 123456.0)
+    text = t.render()
+    assert "1.23" in text
+    assert "-" in text
+    assert "1.23e+05" in text
+    assert t.column("A") == ["x", "y", "z"]

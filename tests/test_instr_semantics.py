@@ -1,0 +1,110 @@
+"""Table-driven semantics tests covering every opcode in the ISA.
+
+The EVAL table is shared by the interpreter and all three timing
+simulators, so these tests pin the ISA's arithmetic contract in one
+place.
+"""
+
+import math
+
+import pytest
+
+from repro.ir import EVAL, Op
+from repro.ir.instr import result_dtype, unit_class, UnitClass
+from repro.ir.types import DType
+
+CASES = [
+    (Op.ADD, (7, 5), 12),
+    (Op.SUB, (7, 5), 2),
+    (Op.MUL, (7, 5), 35),
+    (Op.MIN, (7, 5), 5),
+    (Op.MAX, (7, 5), 7),
+    (Op.AND, (0b1100, 0b1010), 0b1000),
+    (Op.OR, (0b1100, 0b1010), 0b1110),
+    (Op.XOR, (0b1100, 0b1010), 0b0110),
+    (Op.SHL, (3, 2), 12),
+    (Op.SHR, (12, 2), 3),
+    (Op.NEG, (7,), -7),
+    (Op.ABS, (-7,), 7),
+    (Op.FADD, (1.5, 2.25), 3.75),
+    (Op.FSUB, (1.5, 2.25), -0.75),
+    (Op.FMUL, (1.5, 2.0), 3.0),
+    (Op.FMIN, (1.5, 2.0), 1.5),
+    (Op.FMAX, (1.5, 2.0), 2.0),
+    (Op.FNEG, (1.5,), -1.5),
+    (Op.FABS, (-1.5,), 1.5),
+    (Op.FMA, (2.0, 3.0, 1.0), 7.0),
+    (Op.EQ, (3, 3), True),
+    (Op.NE, (3, 4), True),
+    (Op.LT, (3, 4), True),
+    (Op.LE, (4, 4), True),
+    (Op.GT, (5, 4), True),
+    (Op.GE, (4, 4), True),
+    (Op.I2F, (3,), 3.0),
+    (Op.F2I, (3.9,), 3),       # truncation toward zero
+    (Op.F2I, (-3.9,), -3),
+    (Op.MOV, (42,), 42),
+    (Op.SELECT, (True, 1, 2), 1),
+    (Op.SELECT, (False, 1, 2), 2),
+    (Op.DIV, (7, 2), 3),       # floor division
+    (Op.DIV, (-7, 2), -4),
+    (Op.REM, (7, 3), 1),
+    (Op.REM, (-7, 3), 2),      # Python semantics: sign follows divisor
+    (Op.FDIV, (7.0, 2.0), 3.5),
+    (Op.FSQRT, (16.0,), 4.0),
+    (Op.FRSQRT, (4.0,), 0.5),
+    (Op.FEXP, (0.0,), 1.0),
+    (Op.FLOG, (1.0,), 0.0),
+    (Op.FSIN, (0.0,), 0.0),
+    (Op.FCOS, (0.0,), 1.0),
+    (Op.FFLOOR, (1.9,), 1.0),
+    (Op.FFLOOR, (-1.1,), -2.0),
+]
+
+
+@pytest.mark.parametrize("op,args,expected", CASES)
+def test_eval_semantics(op, args, expected):
+    got = EVAL[op](*args)
+    if isinstance(expected, float):
+        assert got == pytest.approx(expected)
+    else:
+        assert got == expected
+
+
+def test_every_non_memory_op_has_eval():
+    for op in Op:
+        if op in (Op.LOAD, Op.STORE):
+            assert op not in EVAL
+        else:
+            assert op in EVAL, f"{op} missing from EVAL"
+
+
+def test_not_is_logical_on_bools_bitwise_on_ints():
+    assert EVAL[Op.NOT](True) is False
+    assert EVAL[Op.NOT](False) is True
+    assert EVAL[Op.NOT](0) == -1  # bitwise complement
+
+
+@pytest.mark.parametrize("op", [Op.DIV, Op.REM, Op.FDIV, Op.FSQRT,
+                                Op.FRSQRT, Op.FEXP, Op.FLOG, Op.FSIN,
+                                Op.FCOS, Op.FFLOOR])
+def test_special_ops_map_to_scu(op):
+    assert unit_class(op) is UnitClass.SPECIAL
+
+
+@pytest.mark.parametrize("op", [Op.ADD, Op.FMUL, Op.SELECT, Op.MOV, Op.LT])
+def test_compute_ops_map_to_alu_fpu(op):
+    assert unit_class(op) is UnitClass.COMPUTE
+
+
+def test_memory_ops_map_to_ldst():
+    assert unit_class(Op.LOAD) is UnitClass.MEMORY
+    assert unit_class(Op.STORE) is UnitClass.MEMORY
+
+
+def test_result_dtypes():
+    assert result_dtype(Op.FADD) is DType.FLOAT
+    assert result_dtype(Op.LT) is DType.PRED
+    assert result_dtype(Op.ADD) is DType.INT
+    assert result_dtype(Op.MOV, DType.FLOAT) is DType.FLOAT
+    assert result_dtype(Op.LOAD, DType.INT) is DType.INT

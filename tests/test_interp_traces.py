@@ -1,0 +1,53 @@
+"""Tests for interpreter trace collection and result helpers."""
+
+import numpy as np
+
+from repro.interp import interpret
+from repro.kernels import loop_sum_kernel, make_fig1_workload
+from repro.memory import MemoryImage
+
+
+def test_trace_records_per_thread_paths():
+    kernel, mem, params = make_fig1_workload(n_threads=32)
+    result = interpret(kernel, mem, params, 32)
+    assert result.n_threads == 32
+    assert len(result.traces) == 32
+    for trace in result.traces:
+        assert trace.blocks[0] == "entry"
+        assert trace.blocks[-1] == kernel.exit_blocks()[0]
+        assert trace.instructions > 0
+        # One load of data plus one store of the result (+merge traffic).
+        assert trace.loads >= 1
+        assert trace.stores >= 1
+
+
+def test_visits_of_counts_loop_iterations():
+    stride, nt = 4, 8
+    rng = np.random.default_rng(2)
+    mem = MemoryImage(512)
+    bd = mem.alloc_array("data", rng.normal(size=stride * nt))
+    count = np.arange(nt) % (stride + 1)
+    bc = mem.alloc_array("count", count)
+    bo = mem.alloc("out", nt)
+    kernel = loop_sum_kernel()
+    result = interpret(
+        kernel, mem,
+        {"data": bd, "count": bc, "out": bo, "stride": stride}, nt,
+    )
+    # The loop header runs iterations+1 times per thread.
+    header = next(n for n in kernel.blocks if n.startswith("loop"))
+    for tid in range(nt):
+        assert result.visits_of(tid, header) == count[tid] + 1
+
+
+def test_aggregate_counters_sum_traces():
+    kernel, mem, params = make_fig1_workload(n_threads=16)
+    result = interpret(kernel, mem, params, 16)
+    assert result.total_instructions == sum(
+        t.instructions for t in result.traces
+    )
+    assert result.total_loads == sum(t.loads for t in result.traces)
+    assert result.total_stores == sum(t.stores for t in result.traces)
+    assert sum(result.block_visits.values()) == sum(
+        len(t.blocks) for t in result.traces
+    )

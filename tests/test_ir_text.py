@@ -1,0 +1,117 @@
+"""Tests for the textual kernel format (assembler/disassembler)."""
+
+import numpy as np
+import pytest
+
+from repro.interp import interpret
+from repro.ir import DType, Kernel
+from repro.ir.text import ParseError, kernel_to_text, parse_kernel
+from repro.kernels import saxpy_kernel
+from repro.kernels.registry import all_names, make_workload
+from repro.memory import MemoryImage
+
+
+def _structurally_equal(a: Kernel, b: Kernel) -> bool:
+    if (a.name, a.params, a.entry, a.param_dtypes) != (
+        b.name, b.params, b.entry, b.param_dtypes
+    ):
+        return False
+    if set(a.blocks) != set(b.blocks):
+        return False
+    for name in a.blocks:
+        ba, bb = a.blocks[name], b.blocks[name]
+        if ba.instrs != bb.instrs or ba.terminator != bb.terminator:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("name", all_names(include_extras=True))
+def test_roundtrip_every_benchmark_kernel(name):
+    kernel = make_workload(name, "tiny").kernel
+    parsed = parse_kernel(kernel_to_text(kernel))
+    assert _structurally_equal(kernel, parsed)
+
+
+def test_parsed_kernel_executes_identically():
+    kernel = saxpy_kernel()
+    parsed = parse_kernel(kernel_to_text(kernel))
+    n = 16
+    results = []
+    for k in (kernel, parsed):
+        mem = MemoryImage(256)
+        bx = mem.alloc_array("x", np.arange(float(n)))
+        by = mem.alloc_array("y", np.ones(n))
+        bo = mem.alloc("out", n)
+        interpret(k, mem, {"a": 2.0, "x": bx, "y": by, "out": bo, "n": n}, n)
+        results.append(mem.read_region("out"))
+    np.testing.assert_array_equal(results[0], results[1])
+
+
+def test_hand_written_text():
+    text = """
+kernel double_it(src, dst, n)
+entry:
+  %c = lt %tid, %arg.n !pred
+  br %c, body, done
+body:
+  %addr = add %arg.src, %tid !int
+  %v = load %addr !float
+  %twice = fmul %v, #2.0 !float
+  %out = add %arg.dst, %tid !int
+  store %out, %twice !float
+  jmp done
+done:
+  ret
+"""
+    k = parse_kernel(text)
+    assert k.name == "double_it"
+    mem = MemoryImage(64)
+    src = mem.alloc_array("src", [1.5, 2.5])
+    dst = mem.alloc("dst", 2)
+    interpret(k, mem, {"src": src, "dst": dst, "n": 2}, 2)
+    assert list(mem.read_region("dst")) == [3.0, 5.0]
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+kernel k(out)
+
+entry:              ; the only block
+  %v = mov #7 !int  ; a constant
+  store %arg.out, %v !int
+  ret
+"""
+    k = parse_kernel(text)
+    assert k.blocks["entry"].instrs[0].dst == "v"
+
+
+def test_float_param_annotation():
+    text = "kernel k(a, out) float(a)\nentry:\n  store %arg.out, %arg.a !float\n  ret\n"
+    k = parse_kernel(text)
+    assert k.param_dtypes["a"] is DType.FLOAT
+    assert k.param_dtypes["out"] is DType.INT
+
+
+@pytest.mark.parametrize("bad,match", [
+    ("entry:\n  ret\n", "expected 'kernel"),
+    ("kernel k()\n  ret\n", "outside any block"),
+    ("kernel k()\nentry:\n  %x = bogus #1 !int\n  ret\n", "unknown opcode"),
+    ("kernel k()\nentry:\n  %x = mov #1 !quux\n  ret\n", "unknown dtype"),
+    ("kernel k()\nentry:\n  %x = mov @1 !int\n  ret\n", "unrecognised|bad operand"),
+    ("kernel k()\nentry:\n  ret\n  ret\n", "already terminated"),
+    ("kernel k()\nentry:\nentry:\n  ret\n", "duplicate block"),
+    ("kernel k() float(z)\nentry:\n  ret\n", "unknown params"),
+])
+def test_parse_errors(bad, match):
+    with pytest.raises(ParseError, match=match):
+        parse_kernel(bad)
+
+
+def test_float_immediates_roundtrip_exactly():
+    text = ("kernel k(out)\nentry:\n"
+            "  %v = fadd #0.1, #1e-17 !float\n"
+            "  store %arg.out, %v !float\n  ret\n")
+    k = parse_kernel(text)
+    rendered = kernel_to_text(k)
+    k2 = parse_kernel(rendered)
+    assert _structurally_equal(k, k2)

@@ -1,0 +1,126 @@
+"""Tests for kernel validation rules."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    DType,
+    Imm,
+    Instr,
+    Kernel,
+    Op,
+    Reg,
+    Terminator,
+    ValidationError,
+    validate_kernel,
+)
+
+
+def _ret_block(name, instrs=()):
+    return BasicBlock(name, list(instrs), Terminator.ret())
+
+
+def test_missing_entry_block():
+    k = Kernel("k", [], {"a": _ret_block("a")}, entry="nope")
+    with pytest.raises(ValidationError, match="entry"):
+        validate_kernel(k)
+
+
+def test_duplicate_params():
+    k = Kernel("k", ["x", "x"], {"entry": _ret_block("entry")}, entry="entry")
+    with pytest.raises(ValidationError, match="duplicate"):
+        validate_kernel(k)
+
+
+def test_unterminated_block():
+    k = Kernel("k", [], {"entry": BasicBlock("entry")}, entry="entry")
+    with pytest.raises(ValidationError, match="terminator"):
+        validate_kernel(k)
+
+
+def test_branch_to_unknown_block():
+    b = BasicBlock("entry", [], Terminator.jmp("ghost"))
+    k = Kernel("k", [], {"entry": b}, entry="entry")
+    with pytest.raises(ValidationError, match="unknown block"):
+        validate_kernel(k)
+
+
+def test_unreachable_block_rejected():
+    blocks = {
+        "entry": _ret_block("entry"),
+        "island": _ret_block("island"),
+    }
+    k = Kernel("k", [], blocks, entry="entry")
+    with pytest.raises(ValidationError, match="unreachable"):
+        validate_kernel(k)
+
+
+def test_wrong_arity():
+    bad = Instr(Op.ADD, "x", (Imm(1, DType.INT),), DType.INT)
+    k = Kernel("k", [], {"entry": _ret_block("entry", [bad])}, entry="entry")
+    with pytest.raises(ValidationError, match="expects 2 operands"):
+        validate_kernel(k)
+
+
+def test_store_with_dst_rejected():
+    bad = Instr(Op.STORE, "x", (Imm(0, DType.INT), Imm(1.0, DType.FLOAT)), DType.FLOAT)
+    k = Kernel("k", [], {"entry": _ret_block("entry", [bad])}, entry="entry")
+    with pytest.raises(ValidationError, match="STORE"):
+        validate_kernel(k)
+
+
+def test_read_of_possibly_undefined_register():
+    # entry branches on tid; only one arm defines %x, then both read it.
+    entry = BasicBlock(
+        "entry",
+        [Instr(Op.LT, "c", (Reg("tid"), Imm(2, DType.INT)), DType.PRED)],
+        Terminator.br(Reg("c"), "a", "merge"),
+    )
+    a = BasicBlock(
+        "a",
+        [Instr(Op.MOV, "x", (Imm(1, DType.INT),), DType.INT)],
+        Terminator.jmp("merge"),
+    )
+    merge = BasicBlock(
+        "merge",
+        [Instr(Op.STORE, None, (Imm(0, DType.INT), Reg("x")), DType.INT)],
+        Terminator.ret(),
+    )
+    k = Kernel("k", [], {"entry": entry, "a": a, "merge": merge}, entry="entry")
+    with pytest.raises(ValidationError, match="read before definition"):
+        validate_kernel(k)
+
+
+def test_defined_on_both_arms_is_accepted():
+    entry = BasicBlock(
+        "entry",
+        [Instr(Op.LT, "c", (Reg("tid"), Imm(2, DType.INT)), DType.PRED)],
+        Terminator.br(Reg("c"), "a", "b"),
+    )
+    a = BasicBlock(
+        "a",
+        [Instr(Op.MOV, "x", (Imm(1, DType.INT),), DType.INT)],
+        Terminator.jmp("merge"),
+    )
+    b = BasicBlock(
+        "b",
+        [Instr(Op.MOV, "x", (Imm(2, DType.INT),), DType.INT)],
+        Terminator.jmp("merge"),
+    )
+    merge = BasicBlock(
+        "merge",
+        [Instr(Op.STORE, None, (Imm(0, DType.INT), Reg("x")), DType.INT)],
+        Terminator.ret(),
+    )
+    k = Kernel(
+        "k", [], {"entry": entry, "a": a, "b": b, "merge": merge}, entry="entry"
+    )
+    validate_kernel(k)  # must not raise
+
+
+def test_no_exit_block_rejected():
+    a = BasicBlock("entry", [], Terminator.jmp("b"))
+    b = BasicBlock("b", [], Terminator.jmp("entry"))
+    k = Kernel("k", [], {"entry": a, "b": b}, entry="entry")
+    with pytest.raises(ValidationError, match="no exit"):
+        validate_kernel(k)

@@ -1,0 +1,46 @@
+"""Tests for static kernel statistics."""
+
+import pytest
+
+from repro.ir.stats import kernel_statistics
+from repro.kernels import fig1_kernel, loop_sum_kernel, saxpy_kernel
+from repro.kernels.registry import all_names, make_workload
+
+
+def test_saxpy_statistics():
+    s = kernel_statistics(saxpy_kernel())
+    assert s.n_blocks == 3
+    assert s.n_branches == 1
+    assert s.n_loops == 0
+    assert s.by_unit_class["memory"] == 3  # two loads + one store
+    assert 0 < s.memory_fraction < 1
+    assert s.mean_block_size > 0
+
+
+def test_loop_statistics():
+    s = kernel_statistics(loop_sum_kernel())
+    assert s.n_loops == 1
+    assert s.max_loop_depth == 1
+
+
+def test_fig1_divergence_shape():
+    s = kernel_statistics(fig1_kernel())
+    assert s.n_branches == 2  # the two nested conditionals
+    assert s.special_fraction > 0  # the sqrt arm
+
+
+def test_render_is_readable():
+    text = kernel_statistics(fig1_kernel()).render()
+    assert "kernel fig1" in text
+    assert "unit mix" in text
+    assert "block sizes" in text
+
+
+@pytest.mark.parametrize("name", all_names(include_extras=True))
+def test_statistics_computable_for_all_benchmarks(name):
+    w = make_workload(name, "tiny")
+    s = kernel_statistics(w.kernel)
+    assert s.n_instructions == w.kernel.instruction_count()
+    assert sum(s.by_op.values()) == s.n_instructions
+    assert sum(s.by_unit_class.values()) == s.n_instructions
+    assert len(s.block_sizes) == s.n_blocks

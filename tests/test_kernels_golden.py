@@ -1,0 +1,53 @@
+"""Every Table 2 workload: interpreter vs. numpy golden model.
+
+These tests validate the IR implementations of the Rodinia-like kernels
+themselves; the simulators are separately validated against the
+interpreter in test_cross_simulator.py.
+"""
+
+import pytest
+
+from repro.compiler.optimize import optimize_kernel
+from repro.interp import interpret
+from repro.kernels.registry import TABLE2, all_names, entry, make_workload
+
+
+@pytest.mark.parametrize("name", all_names(include_extras=True))
+def test_workload_matches_numpy_golden(name):
+    w = make_workload(name, "tiny")
+    interpret(w.kernel, w.memory, w.params, w.n_threads)
+    w.check()
+
+
+@pytest.mark.parametrize("name", all_names(include_extras=True))
+def test_optimized_kernel_matches_numpy_golden(name):
+    w = make_workload(name, "tiny")
+    k = optimize_kernel(w.kernel)
+    # DCE + FMA contraction must not change results.
+    interpret(k, w.memory, w.params, w.n_threads)
+    w.check()
+
+
+@pytest.mark.parametrize("name", all_names(include_extras=True))
+def test_workload_metadata(name):
+    e = entry(name)
+    w = make_workload(name, "tiny")
+    assert w.app == e.app
+    assert w.n_threads > 0
+    assert w.expected, "every workload needs a golden model"
+    assert w.paper_blocks == e.paper_blocks
+
+
+def test_registry_covers_table2():
+    assert len(TABLE2) == 21
+    assert len({e.name for e in TABLE2}) == 21
+    apps = {e.app for e in TABLE2}
+    assert len(apps) == 12  # 12 applications (CFD contributes 4 kernels)
+
+
+def test_scales_are_ordered():
+    # Larger scales must launch at least as many threads.
+    for name in ("nn/euclid", "hotspot/hotspot_kernel", "bfs/Kernel"):
+        tiny = make_workload(name, "tiny").n_threads
+        small = make_workload(name, "small").n_threads
+        assert tiny < small

@@ -1,0 +1,83 @@
+"""Tests for liveness analysis and live-value allocation."""
+
+from repro.compiler import allocate_live_values, analyze_liveness
+from repro.ir import KernelBuilder
+from repro.kernels import fig1_kernel, loop_sum_kernel, saxpy_kernel
+
+
+def test_saxpy_has_no_crossing_values():
+    # All of saxpy's intermediates are confined to one block: nothing
+    # should touch the LVC (this is the core of the paper's Figure 3
+    # argument: most values never cross block boundaries).
+    lv = allocate_live_values(saxpy_kernel())
+    assert lv.ids == {}
+    assert all(not f for f in lv.fetches.values())
+    assert all(not s for s in lv.spills.values())
+
+
+def test_entry_live_in_is_empty():
+    for kf in (saxpy_kernel, fig1_kernel, loop_sum_kernel):
+        k = kf()
+        live = analyze_liveness(k)
+        assert live.live_in[k.entry] == frozenset()
+
+
+def test_fig1_v_crosses_and_r_merges():
+    k = fig1_kernel()
+    live = analyze_liveness(k)
+    lv = allocate_live_values(k, live)
+    # 'v' (the loaded value) is read by both arms; the result register is
+    # read by the merge block.
+    crossing = live.crossing_registers()
+    assert "r" in crossing
+    exit_block = k.exit_blocks()[0]
+    assert "r" in live.live_in[exit_block]
+    # The dead initial assignment of r must not make it live out of entry.
+    assert "r" not in live.live_out["entry"]
+    # Non-overlapping live ranges may share an ID (graph colouring).
+    assert lv.n_live_values <= len(crossing)
+
+
+def test_loop_carried_values_are_live():
+    k = loop_sum_kernel()
+    live = analyze_liveness(k)
+    loops_header = [
+        n for n, b in k.blocks.items()
+        if any(t == n for src in k.blocks.values() for t in src.successors())
+        and b.terminator.kind.value == "br"
+    ]
+    # The accumulator must be live around the back edge.
+    assert any("acc" in live.live_in[h] for h in loops_header)
+
+
+def test_fetch_and_spill_sets_are_consistent():
+    for kf in (fig1_kernel, loop_sum_kernel):
+        k = kf()
+        lv = allocate_live_values(k)
+        live = lv.liveness
+        for name, block in k.blocks.items():
+            # Fetches are read-before-def registers that are live in.
+            for reg in lv.fetches[name]:
+                assert reg in live.live_in[name]
+                assert reg in block.uses_before_def()
+            # Spills are definitions that are live out.
+            for reg in lv.spills[name]:
+                assert reg in block.defs()
+                assert reg in live.live_out[name]
+            # Every fetched/spilled register has an ID.
+            for reg in lv.fetches[name] | lv.spills[name]:
+                assert reg in lv.ids
+
+
+def test_interfering_values_get_distinct_ids():
+    # Two registers live simultaneously across the same boundary must
+    # not share a live value ID.
+    kb = KernelBuilder("two_live", params=["out", "n"])
+    a = kb.tid() * 3
+    b = kb.tid() * 5
+    with kb.if_(kb.tid() < kb.param("n")):
+        kb.store(kb.param("out") + kb.tid(), kb.i2f(a + b))
+    k = kb.build()
+    lv = allocate_live_values(k)
+    ids = {lv.ids[r] for r in lv.fetches[k.blocks["entry"].successors()[0]]}
+    assert len(ids) == 2  # a and b interfere

@@ -1,0 +1,70 @@
+"""Tests for the flat memory image and its region allocator."""
+
+import numpy as np
+import pytest
+
+from repro.memory import MemoryImage
+from repro.memory.image import MemoryError_
+
+
+def test_alloc_and_rw():
+    mem = MemoryImage(64)
+    a = mem.alloc("a", 8)
+    b = mem.alloc("b", 8)
+    assert b == a + 8
+    mem.write(a, 1.5)
+    assert mem.read(a) == 1.5
+    assert mem.region("b") == range(8, 16)
+
+
+def test_alloc_array_roundtrip():
+    mem = MemoryImage(64)
+    vals = np.array([1.0, 2.0, 3.0])
+    base = mem.alloc_array("v", vals)
+    np.testing.assert_array_equal(mem.read_region("v"), vals)
+    np.testing.assert_array_equal(mem.read_block(base, 3), vals)
+
+
+def test_duplicate_region_rejected():
+    mem = MemoryImage(64)
+    mem.alloc("a", 4)
+    with pytest.raises(MemoryError_):
+        mem.alloc("a", 4)
+
+
+def test_out_of_memory():
+    mem = MemoryImage(8)
+    with pytest.raises(MemoryError_):
+        mem.alloc("big", 9)
+
+
+def test_out_of_bounds_access():
+    mem = MemoryImage(8)
+    with pytest.raises(MemoryError_):
+        mem.read(8)
+    with pytest.raises(MemoryError_):
+        mem.write(-1, 0.0)
+
+
+def test_clone_is_deep_and_comparable():
+    mem = MemoryImage(16)
+    a = mem.alloc("a", 4)
+    mem.write(a, 7.0)
+    copy = mem.clone()
+    assert copy == mem
+    copy.write(a, 8.0)
+    assert copy != mem
+    assert mem.read(a) == 7.0
+    # Clone keeps allocator state.
+    assert copy.region("a") == mem.region("a")
+
+
+def test_byte_address_geometry():
+    mem = MemoryImage(16)
+    assert mem.byte_address(0) == 0
+    assert mem.byte_address(32) == 128  # one 128-byte line = 32 words
+
+
+def test_invalid_size():
+    with pytest.raises(MemoryError_):
+        MemoryImage(0)

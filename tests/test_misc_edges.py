@@ -1,0 +1,82 @@
+"""Edge-path tests for small utilities across the library."""
+
+import pytest
+
+from repro.compiler import PartitionError, split_block
+from repro.ir import BasicBlock, Kernel, Terminator
+from repro.kernels import saxpy_kernel
+from repro.vgiw.bbs import BBSStats, batch_popcount
+
+
+def test_split_block_refuses_single_instruction():
+    blocks = {
+        "entry": BasicBlock("entry", [], Terminator.ret()),
+    }
+    k = Kernel("k", [], blocks, entry="entry")
+    with pytest.raises(PartitionError, match="cannot be split"):
+        split_block(k, "entry")
+
+
+def test_split_block_leaves_original_untouched():
+    k = saxpy_kernel()
+    before = {n: len(b.instrs) for n, b in k.blocks.items()}
+    split_block(k, "then.1")
+    after = {n: len(b.instrs) for n, b in k.blocks.items()}
+    assert before == after
+
+
+def test_split_names_do_not_collide():
+    k = saxpy_kernel()
+    k2 = split_block(k, "then.1")
+    k3 = split_block(k2, "then.1")
+    names = set(k3.blocks)
+    assert len(names) == len(k.blocks) + 2
+    assert "then.1.split1" in names
+    assert "then.1.split2" in names
+
+
+def test_bbs_stats_overhead():
+    stats = BBSStats(config_cycles=50)
+    assert stats.config_overhead(1000) == 0.05
+    assert stats.config_overhead(0) == 0.0
+
+
+def test_batch_popcount_edge():
+    assert batch_popcount(0) == 0
+    assert batch_popcount((1 << 64) - 1) == 64
+
+
+def test_cache_hit_rate_empty():
+    from repro.memory import Cache
+
+    c = Cache("x", 1024, 128, 2, 2, 1, None)
+    assert c.stats.hit_rate == 0.0
+    c.access(0.0, 0, False)
+    c.access(10.0, 0, False)
+    assert c.stats.hit_rate == 0.5
+
+
+def test_write_validate_line_becomes_resident_dirty():
+    from repro.memory import Cache
+
+    c = Cache("x", 1024, 128, 2, 2, 1, None, write_back=True,
+              write_validate=True)
+    c.access(0.0, 5, True)
+    assert c.contains(5)
+    # A read of the validated line hits.
+    misses = c.stats.read_misses
+    c.access(5.0, 5, False)
+    assert c.stats.read_misses == misses
+
+
+def test_fabric_spec_requires_perimeter_for_memory_units():
+    from repro.arch import FabricSpec, UnitKind
+    from repro.compiler import CapacityError, Fabric
+
+    spec = FabricSpec(
+        width=3, height=3,
+        counts={UnitKind.LDST: 5, UnitKind.LVU: 4},
+    )
+    # 9 units, perimeter is 8: LDST+LVU = 9 > 8.
+    with pytest.raises(CapacityError, match="perimeter"):
+        Fabric(spec)

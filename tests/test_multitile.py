@@ -1,0 +1,59 @@
+"""Multi-tile correctness: live values, divergence, and loops must all
+work when a launch is split across CVT/LVC tiles."""
+
+import numpy as np
+
+from repro.arch import VGIWConfig
+from repro.interp import interpret
+from repro.kernels import loop_sum_kernel, make_fig1_workload
+from repro.memory import MemoryImage
+from repro.power import energy_vgiw
+from repro.vgiw import VGIWCore
+
+
+def test_divergent_kernel_across_many_tiles():
+    n = 1024
+    kernel, mem, params = make_fig1_workload(n_threads=n)
+    golden = mem.clone()
+    interpret(kernel, golden, params, n)
+    # Force tiny tiles: 7 blocks x 64-bit words -> 64-thread tiles.
+    config = VGIWConfig(cvt_bits=64 * 7)
+    result = VGIWCore(config).run(kernel, mem, params, n)
+    assert result.tiles == n // 64
+    assert np.array_equal(mem.data, golden.data)
+    # Each tile reconfigures its own block sequence.
+    assert result.bbs.reconfigurations >= result.tiles * 3
+
+
+def test_loop_kernel_across_tiles():
+    stride, nt = 4, 256
+    rng = np.random.default_rng(9)
+    mem = MemoryImage(4096)
+    bd = mem.alloc_array("data", rng.normal(size=stride * nt))
+    bc = mem.alloc_array("count", rng.integers(0, stride + 1, nt))
+    bo = mem.alloc("out", nt)
+    params = {"data": bd, "count": bc, "out": bo, "stride": stride}
+    golden = mem.clone()
+    interpret(loop_sum_kernel(), golden, params, nt)
+    config = VGIWConfig(cvt_bits=64 * 4)  # 64-thread tiles for 4 blocks
+    result = VGIWCore(config).run(loop_sum_kernel(), mem, params, nt)
+    assert result.tiles == 4
+    assert np.array_equal(mem.data, golden.data)
+
+
+def test_tile_count_tracks_live_value_footprint():
+    # Many live values shrink the tile so the footprint fits the L2.
+    kernel, mem, params = make_fig1_workload(n_threads=512)
+    r_default = VGIWCore().run(kernel, mem, params, 512)
+    assert r_default.tiles == 1  # one live value: no tiling needed here
+
+
+def test_average_power_is_finite_and_positive():
+    n = 256
+    kernel, mem, params = make_fig1_workload(n_threads=n)
+    result = VGIWCore().run(kernel, mem, params, n)
+    bd = energy_vgiw(result)
+    watts = bd.average_power_watts(result.cycles)
+    assert 0 < watts < 500  # a sane wattage for one core + memory
+    assert bd.average_power_watts(0) == 0.0
+    assert bd.average_power_watts(result.cycles, level="core") < watts

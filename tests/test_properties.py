@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import MemoryConfig
+from repro.memory import Cache, DRAM, MemoryImage
+from repro.vgiw import ControlVectorTable, iter_batch_tids, make_batches
+
+
+# ----------------------------------------------------------------------
+# Batch protocol: pack/unpack is the identity on thread-ID sets.
+# ----------------------------------------------------------------------
+@given(st.sets(st.integers(min_value=0, max_value=2000), max_size=100))
+def test_batch_roundtrip(tids):
+    batches = make_batches(tids)
+    unpacked = sorted(
+        t for base, bm in batches for t in iter_batch_tids(base, bm)
+    )
+    assert unpacked == sorted(tids)
+    # Bases are word-aligned and bitmaps fit one CVT word.
+    for base, bm in batches:
+        assert base % 64 == 0
+        assert 0 < bm < (1 << 64)
+
+
+# ----------------------------------------------------------------------
+# CVT: OR-merge + read-and-reset preserve exactly the registered set,
+# and the one-vector-per-thread invariant holds for disjoint updates.
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 255)),
+        max_size=120,
+    )
+)
+def test_cvt_registration_preserves_threads(pairs):
+    cvt = ControlVectorTable(n_blocks=4, n_threads=256)
+    registered = {}
+    for block_id, tid in pairs:
+        if tid in registered:
+            continue  # a thread registers in at most one vector
+        registered[tid] = block_id
+        base = (tid // 64) * 64
+        cvt.or_batch(block_id, base, 1 << (tid - base))
+    cvt.check_invariant()
+    for block_id in range(4):
+        got = sorted(
+            t for base, bm in cvt.pop_batches(block_id)
+            for t in iter_batch_tids(base, bm)
+        )
+        want = sorted(t for t, b in registered.items() if b == block_id)
+        assert got == want
+        assert cvt.is_empty(block_id)
+
+
+# ----------------------------------------------------------------------
+# Cache timing model: completion times are sane, and the tag state is a
+# subset of everything ever accessed.
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 255),        # line address
+            st.booleans(),              # write?
+            st.floats(0, 1000, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_completion_monotone_per_access(accesses):
+    dram = DRAM(MemoryConfig())
+    cache = Cache("L1", 4096, 128, 4, 8, 4, dram, write_back=True)
+    accesses = sorted(accesses, key=lambda a: a[2])
+    for line, is_write, t in accesses:
+        done = cache.access(t, line, is_write)
+        assert done >= t + 1  # at least bank + latency
+    stats = cache.stats
+    assert stats.accesses == len(accesses)
+    assert stats.misses <= stats.accesses
+
+
+@given(
+    st.lists(st.integers(0, 63), min_size=1, max_size=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_repeat_access_hits(lines):
+    cache = Cache("L1", 64 * 1024, 128, 8, 8, 4, None, write_back=True)
+    t = 0.0
+    for line in lines:
+        t = cache.access(t + 1, line, False)
+    # Working set (<= 64 lines) fits easily in 512 lines: second sweep
+    # must be all hits.
+    before = cache.stats.read_misses
+    for line in lines:
+        t = cache.access(t + 1, line, False)
+    assert cache.stats.read_misses == before
+
+
+# ----------------------------------------------------------------------
+# DRAM: every access completes after it starts; bank calendars never
+# overlap.
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 500), st.floats(0, 5000, allow_nan=False)),
+        min_size=1, max_size=150,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_dram_bank_calendar_no_overlap(accesses):
+    cfg = MemoryConfig()
+    dram = DRAM(cfg)
+    for line, t in accesses:
+        done = dram.access(t, line, False)
+        assert done > t
+    for bank in dram._banks.values():
+        intervals = sorted(bank.intervals)
+        for (s1, e1, _), (s2, e2, _) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, "bank served two accesses at once"
+
+
+# ----------------------------------------------------------------------
+# Memory image: block writes and reads round-trip.
+# ----------------------------------------------------------------------
+@given(
+    st.integers(0, 100),
+    st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=50),
+)
+def test_memory_image_roundtrip(base, values):
+    mem = MemoryImage(256)
+    mem.write_block(base % 200, values[: 256 - base % 200])
+    chunk = values[: 256 - base % 200]
+    got = mem.read_block(base % 200, len(chunk))
+    np.testing.assert_array_equal(got, np.asarray(chunk))

@@ -1,0 +1,37 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.evalharness import generate_report, run_suite
+
+
+@pytest.fixture(scope="module")
+def report():
+    runs = run_suite(["nn/euclid", "gaussian/Fan2", "bfs/Kernel"],
+                     scale="tiny")
+    return generate_report(runs, scale="tiny")
+
+
+def test_report_contains_every_section(report):
+    for section in ("Table 1", "Table 2", "Figure 3", "Figure 7",
+                    "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+                    "Section 3.2", "Characterization"):
+        assert section in report
+
+
+def test_report_names_every_kernel(report):
+    for name in ("nn/euclid", "gaussian/Fan2", "bfs/Kernel"):
+        assert name in report
+
+
+def test_report_has_bar_charts_and_framing(report):
+    assert report.startswith("# EXPERIMENTS")
+    assert "Reading the numbers." in report
+    assert "#" * 5 in report  # some bar exists
+    assert "```" in report
+
+
+def test_report_states_paper_references(report):
+    assert "average over 3x" in report       # fig 7 note
+    assert "average 1.75x" in report         # fig 9 note
+    assert "0.18%" in report                 # sec 3.2 note

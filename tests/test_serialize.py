@@ -1,0 +1,41 @@
+"""Tests for suite-result serialisation."""
+
+import json
+
+import pytest
+
+from repro.evalharness.runner import run_kernel
+from repro.evalharness.serialize import run_to_dict, runs_to_dict, runs_to_json
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        "nn/euclid": run_kernel("nn/euclid", "tiny"),
+        "hotspot/hotspot_kernel": run_kernel("hotspot/hotspot_kernel", "tiny"),
+    }
+
+
+def test_run_to_dict_shape(runs):
+    d = run_to_dict(runs["nn/euclid"])
+    assert d["name"] == "nn/euclid"
+    assert d["fermi"]["cycles"] > 0
+    assert d["vgiw"]["cycles"] > 0
+    assert 0 < d["fermi"]["simd_efficiency"] <= 1
+    assert d["sgmf_mappable"] is True
+    assert "sgmf" in d
+    assert d["vgiw"]["energy_levels"]["core"] <= d["vgiw"]["energy_levels"]["system"]
+
+
+def test_unmappable_kernel_has_no_sgmf_section(runs):
+    d = run_to_dict(runs["hotspot/hotspot_kernel"])
+    assert d["sgmf_mappable"] is False
+    assert "sgmf" not in d
+    assert d["speedup_vs_sgmf"] is None
+
+
+def test_json_roundtrip(runs):
+    text = runs_to_json(runs)
+    parsed = json.loads(text)
+    assert set(parsed) == set(runs)
+    assert parsed == runs_to_dict(runs)

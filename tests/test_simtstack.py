@@ -1,0 +1,100 @@
+"""Tests for the SIMT reconvergence stack."""
+
+import pytest
+
+from repro.compiler import immediate_post_dominators
+from repro.kernels import fig1_kernel
+from repro.simt import EXIT, SIMTStack, SIMTStackError
+
+
+def _stack_for(kernel, mask=0xFF):
+    ipdom = immediate_post_dominators(kernel)
+    return SIMTStack(kernel.entry, mask, ipdom)
+
+
+def test_uniform_branch_no_divergence():
+    k = fig1_kernel()
+    st = _stack_for(k)
+    t, _f = k.blocks["entry"].terminator.targets()
+    st.advance("entry", {t: 0xFF})
+    assert st.peek_block() == t
+    assert st.divergences == 0
+
+
+def test_divergent_branch_serialises_paths():
+    k = fig1_kernel()
+    st = _stack_for(k)
+    t, f = k.blocks["entry"].terminator.targets()
+    st.advance("entry", {t: 0x0F, f: 0xF0})
+    assert st.divergences == 1
+    first = st.peek_block()
+    assert first in (t, f)
+    assert st.current().mask in (0x0F, 0xF0)
+
+
+def test_reconvergence_restores_full_mask():
+    k = fig1_kernel()
+    ipdom = immediate_post_dominators(k)
+    st = _stack_for(k)
+    t, f = k.blocks["entry"].terminator.targets()
+    reconv = ipdom["entry"]
+    st.advance("entry", {t: 0x0F, f: 0xF0})
+    # Execute both serialised sides; each jumps to the reconv point.
+    for _ in range(2):
+        block = st.peek_block()
+        mask = st.current().mask
+        target = k.blocks[block].successors()
+        # Walk the side until it reaches the reconvergence block.
+        while block != reconv:
+            succs = k.blocks[block].successors()
+            # Take the uniform path for this test's simple sides.
+            st.advance(block, {succs[0]: mask})
+            block = st.peek_block()
+            if block == reconv and st.current().mask == 0xFF:
+                break
+            if st.current().mask != mask:
+                break
+    assert st.peek_block() == reconv
+    assert st.current().mask == 0xFF
+
+
+def test_exit_pops_and_finishes():
+    k = fig1_kernel()
+    st = _stack_for(k, mask=0b11)
+    # Drive all lanes through a uniform path to completion.
+    block = st.peek_block()
+    while block is not None:
+        term = k.blocks[block].terminator
+        succs = k.blocks[block].successors()
+        if not succs:
+            st.advance(block, {EXIT: st.current().mask})
+        else:
+            st.advance(block, {succs[0]: st.current().mask})
+        block = st.peek_block()
+    assert st.done or st.peek_block() is None
+
+
+def test_mask_partition_enforced():
+    k = fig1_kernel()
+    st = _stack_for(k, mask=0b1111)
+    t, f = k.blocks["entry"].terminator.targets()
+    with pytest.raises(SIMTStackError, match="cover"):
+        st.advance("entry", {t: 0b0011})  # lanes 2,3 unaccounted
+    st2 = _stack_for(k, mask=0b1111)
+    with pytest.raises(SIMTStackError, match="two branch targets"):
+        st2.advance("entry", {t: 0b0011, f: 0b0110})
+
+
+def test_wrong_block_rejected():
+    k = fig1_kernel()
+    st = _stack_for(k)
+    with pytest.raises(SIMTStackError, match="top of stack"):
+        st.advance("nonexistent", {EXIT: 0xFF})
+
+
+def test_max_depth_tracks_nesting():
+    k = fig1_kernel()
+    st = _stack_for(k)
+    t, f = k.blocks["entry"].terminator.targets()
+    st.advance("entry", {t: 0x0F, f: 0xF0})
+    assert st.max_depth >= 2

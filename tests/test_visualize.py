@@ -1,0 +1,42 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.kernels import make_fig1_workload
+from repro.vgiw import VGIWCore, render_timeline
+
+
+def _profiled(n=256):
+    kernel, mem, params = make_fig1_workload(n_threads=n)
+    return VGIWCore().run(kernel, mem, params, n, profile=True)
+
+
+def test_timeline_has_one_row_per_block():
+    result = _profiled()
+    text = render_timeline(result)
+    blocks = {rec.block for rec in result.block_profile}
+    for name in blocks:
+        assert name in text
+    assert "#" in text
+    assert f"{result.cycles:.0f} cycles" in text
+
+
+def test_timeline_requires_profile():
+    kernel, mem, params = make_fig1_workload(n_threads=64)
+    result = VGIWCore().run(kernel, mem, params, 64)  # no profile
+    assert "profile=True" in render_timeline(result)
+
+
+def test_timeline_rows_are_time_ordered():
+    result = _profiled()
+    text = render_timeline(result)
+    lines = [l for l in text.splitlines() if "|" in l]
+    # The entry block's bar must start before the exit block's.
+    entry_line = next(l for l in lines if l.startswith("entry"))
+    exit_block = result.block_profile[-1].block
+    exit_line = next(l for l in lines if l.startswith(exit_block))
+    assert entry_line.index("#") < exit_line.index("#")
+
+
+def test_timeline_truncates_many_blocks():
+    result = _profiled()
+    text = render_timeline(result, max_rows=2)
+    assert "more blocks not shown" in text

@@ -1,0 +1,91 @@
+"""Unit tests for warp-level functional execution (repro.simt.warp)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import DType, Imm, Instr, Op, Reg, Terminator
+from repro.memory import MemoryImage
+from repro.simt import EXIT, Warp
+
+
+def make_warp(n_lanes=8, valid=8, params=None, mem_size=256):
+    mem = MemoryImage(mem_size)
+    warp = Warp(0, base_tid=0, n_lanes=n_lanes, valid_lanes=valid,
+                params=params or {}, memory=mem)
+    return warp, mem
+
+
+def test_tid_reads_per_lane():
+    warp, _ = make_warp()
+    instr = Instr(Op.ADD, "x", (Reg("tid"), Imm(10, DType.INT)), DType.INT)
+    warp.exec_instr(instr, 0xFF)
+    assert warp._regs["x"] == [10, 11, 12, 13, 14, 15, 16, 17]
+
+
+def test_mask_limits_lanes():
+    warp, _ = make_warp()
+    instr = Instr(Op.MOV, "y", (Imm(7, DType.INT),), DType.INT)
+    warp.exec_instr(instr, 0b1010)
+    y = warp._regs["y"]
+    assert y[1] == 7 and y[3] == 7
+    assert y[0] == 0 and y[2] == 0  # untouched lanes keep default
+
+
+def test_param_broadcast():
+    warp, _ = make_warp(params={"alpha": 2.5})
+    instr = Instr(Op.FMUL, "z",
+                  (Reg("arg.alpha"), Imm(2.0, DType.FLOAT)), DType.FLOAT)
+    warp.exec_instr(instr, 0b1)
+    assert warp._regs["z"][0] == 5.0
+
+
+def test_load_store_per_lane_addresses():
+    warp, mem = make_warp()
+    mem.write_block(0, np.arange(8.0))
+    load = Instr(Op.LOAD, "v", (Reg("tid"),), DType.FLOAT)
+    ops = warp.exec_instr(load, 0xFF)
+    assert [m.word_addr for m in ops] == list(range(8))
+    store = Instr(Op.STORE, None, (Reg("tid"), Reg("v")), DType.FLOAT)
+    warp.exec_instr(store, 0x0F)  # only low lanes store
+    np.testing.assert_array_equal(mem.read_block(0, 8), np.arange(8.0))
+
+
+def test_terminator_ret_and_jmp():
+    warp, _ = make_warp()
+    assert warp.exec_terminator(Terminator.ret(), 0b111) == {EXIT: 0b111}
+    assert warp.exec_terminator(Terminator.jmp("next"), 0b101) == {
+        "next": 0b101
+    }
+
+
+def test_terminator_divergent_branch():
+    warp, _ = make_warp()
+    cmp = Instr(Op.LT, "c", (Reg("tid"), Imm(4, DType.INT)), DType.PRED)
+    warp.exec_instr(cmp, 0xFF)
+    targets = warp.exec_terminator(
+        Terminator.br(Reg("c"), "low", "high"), 0xFF
+    )
+    assert targets == {"low": 0x0F, "high": 0xF0}
+
+
+def test_select_and_special_ops():
+    warp, _ = make_warp()
+    warp.exec_instr(
+        Instr(Op.LT, "p", (Reg("tid"), Imm(2, DType.INT)), DType.PRED), 0xFF
+    )
+    warp.exec_instr(
+        Instr(Op.SELECT, "s",
+              (Reg("p"), Imm(1.0, DType.FLOAT), Imm(9.0, DType.FLOAT)),
+              DType.FLOAT),
+        0xFF,
+    )
+    assert warp._regs["s"][:4] == [1.0, 1.0, 9.0, 9.0]
+    warp.exec_instr(
+        Instr(Op.FSQRT, "q", (Imm(16.0, DType.FLOAT),), DType.FLOAT), 0b1
+    )
+    assert warp._regs["q"][0] == 4.0
+
+
+def test_lanes_of_iterates_set_bits():
+    assert list(Warp.lanes_of(0b1011)) == [0, 1, 3]
+    assert list(Warp.lanes_of(0)) == []
