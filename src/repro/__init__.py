@@ -19,9 +19,12 @@ It provides, as a pure-Python simulation library:
 * a GPU memory hierarchy — banked L1, L2, GDDR5-style DRAM
   (:mod:`repro.memory`),
 * a GPUWattch-style energy model (:mod:`repro.power`),
-* Rodinia-like benchmark kernels (:mod:`repro.kernels`), and
+* Rodinia-like benchmark kernels (:mod:`repro.kernels`),
 * the evaluation harness that regenerates every table and figure of the
-  paper (:mod:`repro.evalharness`).
+  paper (:mod:`repro.evalharness`), and
+* the resilience subsystem — typed errors, forward-progress watchdogs,
+  deterministic fault injection, fault-isolating suite runs
+  (:mod:`repro.resilience`, see ``docs/resilience.md``).
 
 Quickstart::
 

@@ -28,6 +28,7 @@ from repro.ir.block import BasicBlock
 from repro.ir.instr import Instr, Op, TermKind, UnitClass, unit_class
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType, Imm, Reg, TID_REG, is_param_reg, PARAM_PREFIX
+from repro.resilience.errors import CompileError
 
 
 class NodeKind(enum.Enum):
@@ -174,11 +175,14 @@ class BlockDFG:
                 if indeg[c] == 0:
                     ready.append(c)
         if len(order) != len(self.nodes):
-            raise AssertionError(f"cycle in DFG of block {self.block_name}")
+            raise CompileError(
+                f"cycle in DFG of block {self.block_name}",
+                block=self.block_name,
+            )
         return order
 
 
-class DFGBuildError(Exception):
+class DFGBuildError(CompileError):
     """Raised when a block cannot be converted to a dataflow graph."""
 
 

@@ -21,9 +21,10 @@ from typing import Dict
 from repro.ir.block import BasicBlock
 from repro.ir.instr import Terminator
 from repro.ir.kernel import Kernel
+from repro.resilience.errors import CompileError
 
 
-class PartitionError(Exception):
+class PartitionError(CompileError):
     """A block cannot be split any further yet still exceeds capacity."""
 
 

@@ -26,9 +26,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.config import FabricSpec, UnitKind
 from repro.compiler.dfg import BlockDFG, DFGNode
+from repro.resilience.errors import MappingError
 
 
-class CapacityError(Exception):
+class CapacityError(MappingError):
     """A dataflow graph does not fit the fabric."""
 
 

@@ -15,6 +15,7 @@ from typing import Dict, List
 
 from repro.compiler.cfganalysis import reverse_post_order
 from repro.ir.kernel import Kernel
+from repro.resilience.errors import CompileError
 
 
 @dataclass(frozen=True)
@@ -39,5 +40,8 @@ def schedule_blocks(kernel: Kernel) -> BlockSchedule:
     """Assign block IDs by reverse post-order; entry gets ID 0."""
     order = reverse_post_order(kernel)
     if order[0] != kernel.entry:
-        raise AssertionError("entry block must schedule first")
+        raise CompileError(
+            "entry block must schedule first",
+            kernel=kernel.name, first=order[0], entry=kernel.entry,
+        )
     return BlockSchedule(order=order, ids={n: i for i, n in enumerate(order)})

@@ -31,10 +31,15 @@ from repro.compiler.dfg import (
     NodeSrc,
 )
 from repro.compiler.pipeline import CompiledKernel
+from repro.resilience.errors import VerificationError
 
 
-class DFGVerificationError(AssertionError):
-    """A compiled kernel violates an executor invariant."""
+class DFGVerificationError(VerificationError):
+    """A compiled kernel violates an executor invariant.
+
+    Historically an ``AssertionError`` subclass; now part of the
+    :class:`~repro.resilience.errors.ReproError` hierarchy so it
+    survives ``python -O`` semantics and fault-isolating sweeps."""
 
 
 def _fail(block: str, message: str) -> None:

@@ -2,6 +2,7 @@
 
 from repro.evalharness.experiments import (
     ALL_EXPERIMENTS,
+    degraded_kernels,
     fig3_lvc_vs_rf,
     fig7_speedup_vs_fermi,
     fig8_speedup_vs_sgmf,
@@ -15,6 +16,7 @@ from repro.evalharness.experiments import (
 from repro.evalharness.report import generate_report
 from repro.evalharness.runner import (
     KernelRun,
+    SuiteResult,
     VerificationError,
     run_kernel,
     run_suite,
@@ -26,8 +28,10 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentTable",
     "KernelRun",
+    "SuiteResult",
     "VerificationError",
     "arithmean",
+    "degraded_kernels",
     "fig10_energy_levels",
     "fig11_energy_vs_sgmf",
     "fig3_lvc_vs_rf",

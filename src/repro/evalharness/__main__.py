@@ -5,6 +5,15 @@ Usage::
     python -m repro.evalharness [--scale tiny|small|medium]
                                 [--kernels name,name,...]
                                 [--out FILE] [--json FILE]
+                                [--inject kernel=kind[:seed[:rate]]]...
+                                [--max-cycles N] [--stall-cycles N]
+                                [--no-isolate]
+
+``--inject`` arms a deterministic fault campaign on one kernel (it may
+be repeated); combined with the default fault isolation the affected
+kernel shows up as a degraded row while the rest of the sweep completes
+normally.  ``--max-cycles``/``--stall-cycles`` arm the forward-progress
+watchdog in every simulator.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -17,6 +26,18 @@ from repro.evalharness.report import generate_report
 from repro.evalharness.runner import run_suite
 from repro.evalharness.serialize import runs_to_json
 from repro.kernels.registry import all_names
+from repro.resilience import FAULT_KINDS, FaultSpec, WatchdogConfig
+
+
+def _parse_inject(arg: str, parser: argparse.ArgumentParser):
+    if "=" not in arg:
+        parser.error(f"--inject wants kernel=kind[:seed[:rate]], got {arg!r}")
+    name, spec_text = arg.split("=", 1)
+    try:
+        spec = FaultSpec.parse(spec_text)
+    except ValueError as exc:
+        parser.error(f"--inject {arg!r}: {exc}")
+    return name.strip(), spec
 
 
 def main(argv=None) -> int:
@@ -33,6 +54,17 @@ def main(argv=None) -> int:
                         help="write the markdown report to this file")
     parser.add_argument("--json", default=None,
                         help="also archive raw results as JSON")
+    parser.add_argument("--inject", action="append", default=[],
+                        metavar="KERNEL=KIND[:SEED[:RATE]]",
+                        help="arm a fault campaign on one kernel "
+                             f"(kinds: {', '.join(FAULT_KINDS)}); repeatable")
+    parser.add_argument("--max-cycles", type=float, default=None,
+                        help="watchdog: hard simulated-cycle budget per run")
+    parser.add_argument("--stall-cycles", type=float, default=None,
+                        help="watchdog: max cycles without a retirement")
+    parser.add_argument("--no-isolate", action="store_true",
+                        help="let the first kernel failure abort the sweep "
+                             "(the historical behaviour)")
     args = parser.parse_args(argv)
 
     names = None
@@ -43,8 +75,24 @@ def main(argv=None) -> int:
         if unknown:
             parser.error(f"unknown kernels: {unknown}")
 
+    inject = dict(_parse_inject(arg, parser) for arg in args.inject)
+    known = set(names if names is not None else all_names())
+    unknown = [n for n in inject if n not in known]
+    if unknown:
+        parser.error(f"--inject targets kernels not in this sweep: {unknown}")
+
+    watchdog = None
+    if args.max_cycles is not None or args.stall_cycles is not None:
+        watchdog = WatchdogConfig(max_cycles=args.max_cycles,
+                                  stall_cycles=args.stall_cycles)
+    elif inject:
+        # Fault campaigns need an armed watchdog so hang-type faults
+        # (mem_drop) are caught instead of inflating the sweep runtime.
+        watchdog = WatchdogConfig(max_cycles=5e6)
+
     t0 = time.time()
-    runs = run_suite(names, scale=args.scale)
+    runs = run_suite(names, scale=args.scale, isolate=not args.no_isolate,
+                     watchdog=watchdog, inject=inject)
     report = generate_report(runs, scale=args.scale)
     elapsed = time.time() - t0
 
@@ -59,6 +107,10 @@ def main(argv=None) -> int:
     else:
         print(report)
         print(f"# generated in {elapsed:.0f}s", file=sys.stderr)
+    failures = getattr(runs, "failures", {})
+    if failures:
+        print(f"# degraded kernels: {', '.join(sorted(failures))}",
+              file=sys.stderr)
     return 0
 
 

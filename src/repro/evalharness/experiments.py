@@ -253,6 +253,31 @@ def workload_characterization(runs: Dict[str, KernelRun]) -> ExperimentTable:
     return t
 
 
+def degraded_kernels(failures: Dict) -> ExperimentTable:
+    """Degraded rows: kernels the fault-isolating runner excluded.
+
+    ``failures`` is the ``SuiteResult.failures`` mapping (name →
+    :class:`repro.resilience.KernelFailure`).  Every row names the final
+    error, the number of bounded-retry attempts consumed, and how many
+    faults the injector actually landed across those attempts; the full
+    structured logs ride in the JSON archive and the report appendix.
+    """
+    t = ExperimentTable(
+        "Degraded", "Kernels excluded by fault isolation",
+        ["Kernel", "Error", "Attempts", "Faults", "Message"],
+    )
+    for name in sorted(failures):
+        f = failures[name]
+        n_faults = sum(len(a.fault_log) for a in f.attempts)
+        message = f.message if len(f.message) <= 72 else f.message[:69] + "..."
+        t.add(name, f.error_type, f.n_attempts, n_faults, message)
+    t.notes.append(
+        "each kernel above exhausted its retry budget; healthy rows in "
+        "every other table are unaffected (docs/resilience.md)"
+    )
+    return t
+
+
 ALL_EXPERIMENTS = {
     "table1": table1_configuration,
     "table2": table2_benchmarks,

@@ -5,12 +5,28 @@ kernel fits its fabric) SGMF, verifies every machine's final memory
 against the reference interpreter, attaches energy breakdowns, and
 returns a :class:`KernelRun`.  ``run_suite`` does that for the whole
 registry and is the single data source for every figure's rows.
+
+Fault isolation
+---------------
+
+A ten-minute sweep must not die because one kernel hangs or corrupts
+memory.  ``run_suite`` therefore wraps every kernel in a try/except with
+a bounded, deterministic retry (see
+:class:`repro.resilience.RetryPolicy`): each retry gets a re-seeded
+fault injector and a backed-off watchdog budget.  Kernels that exhaust
+their retries become *degraded rows*: the returned :class:`SuiteResult`
+still behaves as the historical ``Dict[str, KernelRun]`` over the
+healthy runs, but additionally carries ``.failures`` — a mapping of
+kernel name to :class:`repro.resilience.KernelFailure` with every
+attempt's error, fault log, and (for hangs) the watchdog's diagnostic
+snapshot.  ``docs/resilience.md`` documents the semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -25,13 +41,27 @@ from repro.power import (
     energy_sgmf,
     energy_vgiw,
 )
+from repro.resilience import (
+    AttemptRecord,
+    FaultInjector,
+    FaultSpec,
+    KernelFailure,
+    ReproError,
+    RetryPolicy,
+    WatchdogConfig,
+)
+from repro.resilience.errors import VerificationError  # re-export (was local)
 from repro.sgmf import SGMFCore, SGMFRunResult, SGMFUnmappableError
 from repro.simt import FermiRunResult, FermiSM
 from repro.vgiw import VGIWCore, VGIWRunResult
 
-
-class VerificationError(AssertionError):
-    """A simulator's final memory diverged from the interpreter's."""
+__all__ = [
+    "KernelRun",
+    "SuiteResult",
+    "VerificationError",
+    "run_kernel",
+    "run_suite",
+]
 
 
 @dataclass
@@ -80,8 +110,15 @@ def run_kernel(
     fermi_config: Optional[FermiConfig] = None,
     sgmf_config: Optional[SGMFConfig] = None,
     optimize: bool = True,
+    watchdog: Optional[WatchdogConfig] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> KernelRun:
-    """Run one registry workload on all three machines."""
+    """Run one registry workload on all three machines.
+
+    ``watchdog`` arms the forward-progress watchdog in every simulator;
+    ``faults`` threads a (single-run) fault injector through them.  Both
+    default to off, so the measurement path is unchanged.
+    """
     workload = make_workload(name, scale)
     if optimize:
         kernel = optimize_kernel(workload.kernel, params=workload.params)
@@ -100,20 +137,24 @@ def run_kernel(
 
     def check(mem, arch: str) -> None:
         if golden is not None and not np.array_equal(mem.data, golden.data):
+            bad = int(np.count_nonzero(mem.data != golden.data))
             raise VerificationError(
                 f"{arch} final memory diverges from the interpreter "
-                f"for {name}"
+                f"for {name}",
+                kernel=name, arch=arch, words_diverged=bad,
             )
 
     mem_f = workload.memory.clone()
     fermi = FermiSM(fermi_config).run(
-        kernel, mem_f, workload.params, workload.n_threads
+        kernel, mem_f, workload.params, workload.n_threads,
+        watchdog=watchdog, faults=faults,
     )
     check(mem_f, "Fermi")
 
     mem_v = workload.memory.clone()
     vgiw = VGIWCore(vgiw_config).run(
-        kernel, mem_v, workload.params, workload.n_threads, profile=True
+        kernel, mem_v, workload.params, workload.n_threads, profile=True,
+        watchdog=watchdog, faults=faults,
     )
     check(mem_v, "VGIW")
 
@@ -122,7 +163,8 @@ def run_kernel(
     try:
         mem_s = workload.memory.clone()
         sgmf = SGMFCore(sgmf_config).run(
-            sgmf_kernel, mem_s, workload.params, workload.n_threads
+            sgmf_kernel, mem_s, workload.params, workload.n_threads,
+            watchdog=watchdog, faults=faults,
         )
         check(mem_s, "SGMF")
         sgmf_bd = energy_sgmf(sgmf)
@@ -143,11 +185,116 @@ def run_kernel(
     )
 
 
+class SuiteResult(Mapping):
+    """Suite results plus degraded rows.
+
+    Behaves exactly like the historical ``Dict[str, KernelRun]`` over
+    the *healthy* runs (iteration, ``len``, ``[]``, ``.items()``, ...),
+    so every experiment generator and archived analysis keeps working.
+    Failed kernels live in ``.failures`` (name →
+    :class:`~repro.resilience.KernelFailure`).
+    """
+
+    def __init__(self, runs: Dict[str, KernelRun],
+                 failures: Optional[Dict[str, KernelFailure]] = None):
+        self.runs: Dict[str, KernelRun] = dict(runs)
+        self.failures: Dict[str, KernelFailure] = dict(failures or {})
+
+    # -- Mapping protocol over the healthy runs -------------------------
+    def __getitem__(self, name: str) -> KernelRun:
+        return self.runs[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __repr__(self) -> str:
+        return (f"SuiteResult({len(self.runs)} ok, "
+                f"{len(self.failures)} degraded)")
+
+    # -- degraded-row accessors -----------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when no kernel was degraded."""
+        return not self.failures
+
+    @property
+    def degraded(self) -> List[str]:
+        """Names of the kernels reported as degraded rows."""
+        return sorted(self.failures)
+
+    def failure_logs(self) -> Dict[str, List[dict]]:
+        """Structured per-kernel failure logs (what the report embeds)."""
+        return {name: f.failure_log for name, f in self.failures.items()}
+
+
 def run_suite(
     names: Optional[Iterable[str]] = None,
     scale: str = "small",
     verify: bool = True,
-) -> Dict[str, KernelRun]:
-    """Run the whole Table 2 suite (the data behind every figure)."""
+    isolate: bool = True,
+    watchdog: Optional[WatchdogConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    inject: Optional[Dict[str, FaultSpec]] = None,
+) -> SuiteResult:
+    """Run the whole Table 2 suite (the data behind every figure).
+
+    Parameters
+    ----------
+    isolate:
+        When True (default) a failing kernel is retried per ``retry``
+        and, if still failing, reported as a degraded row instead of
+        aborting the sweep.  When False the first failure propagates
+        (the historical behaviour).
+    watchdog:
+        Optional :class:`~repro.resilience.WatchdogConfig` armed in all
+        three simulators for every kernel.
+    retry:
+        Bounded-retry policy; defaults to :class:`RetryPolicy()` (two
+        attempts, halved watchdog budget, seed shifted by 1009).
+    inject:
+        Optional per-kernel fault campaigns: ``{name: FaultSpec}``.
+        Kernels absent from the mapping run fault-free.
+    """
     names = list(names) if names is not None else all_names()
-    return {name: run_kernel(name, scale, verify=verify) for name in names}
+    retry = retry or RetryPolicy()
+    inject = inject or {}
+
+    runs: Dict[str, KernelRun] = {}
+    failures: Dict[str, KernelFailure] = {}
+    for name in names:
+        spec = inject.get(name)
+        if not isolate:
+            injector = FaultInjector(spec) if spec is not None else None
+            runs[name] = run_kernel(
+                name, scale, verify=verify, watchdog=watchdog,
+                faults=injector,
+            )
+            continue
+
+        attempts: List[AttemptRecord] = []
+        for attempt in range(max(1, retry.max_attempts)):
+            injector = (
+                FaultInjector(spec.reseeded(retry.seed_delta(attempt)))
+                if spec is not None else None
+            )
+            wd = retry.budget_for(watchdog, attempt)
+            try:
+                runs[name] = run_kernel(
+                    name, scale, verify=verify, watchdog=wd,
+                    faults=injector,
+                )
+                break
+            except ReproError as exc:
+                attempts.append(
+                    AttemptRecord.from_error(attempt, exc, injector, wd))
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                # Anything non-ReproError is a harness bug, but the sweep
+                # must still finish; record it as a degraded row too.
+                attempts.append(
+                    AttemptRecord.from_error(attempt, exc, injector, wd))
+        else:
+            failures[name] = KernelFailure.from_attempts(name, attempts)
+    return SuiteResult(runs, failures)

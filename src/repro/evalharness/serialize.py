@@ -84,8 +84,18 @@ def run_to_dict(run: KernelRun) -> Dict:
 
 
 def runs_to_dict(runs: Dict[str, KernelRun]) -> Dict:
-    """A whole suite's measurements as a JSON-compatible dict."""
-    return {name: run_to_dict(run) for name, run in runs.items()}
+    """A whole suite's measurements as a JSON-compatible dict.
+
+    Accepts either a plain ``{name: KernelRun}`` mapping or a
+    :class:`~repro.evalharness.runner.SuiteResult`; degraded kernels (if
+    any) appear as ``{"failed": true, ...}`` entries carrying the full
+    structured failure log, so an archive of a partially-failed sweep is
+    self-describing.
+    """
+    out = {name: run_to_dict(run) for name, run in runs.items()}
+    for name, failure in getattr(runs, "failures", {}).items():
+        out[name] = failure.to_dict()
+    return out
 
 
 def runs_to_json(runs: Dict[str, KernelRun], indent: int = 2) -> str:

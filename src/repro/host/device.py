@@ -29,6 +29,7 @@ from repro.compiler.optimize import optimize_kernel
 from repro.interp import interpret
 from repro.ir.kernel import Kernel
 from repro.memory.image import MemoryImage
+from repro.resilience.errors import ReproError
 from repro.sgmf import SGMFCore
 from repro.simt import FermiSM
 from repro.vgiw import VGIWCore
@@ -38,7 +39,7 @@ Number = Union[int, float]
 _BACKENDS = ("vgiw", "fermi", "sgmf", "interp")
 
 
-class HostError(Exception):
+class HostError(ReproError):
     """Misuse of the host API."""
 
 

@@ -19,11 +19,12 @@ from repro.ir.instr import EVAL, Op, TermKind
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType, Imm, Operand, Reg, TID_REG, is_param_reg, PARAM_PREFIX
 from repro.memory.image import MemoryImage
+from repro.resilience.errors import SimulationError
 
 Number = Union[int, float, bool]
 
 
-class InterpreterError(Exception):
+class InterpreterError(SimulationError):
     """Raised on runaway or ill-behaved kernels."""
 
 

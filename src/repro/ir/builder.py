@@ -27,11 +27,12 @@ from repro.ir.instr import Instr, Op, Terminator
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType, Imm, Operand, Reg, TID_REG, param_reg
 from repro.ir.validate import validate_kernel
+from repro.resilience.errors import CompileError
 
 Number = Union[int, float, bool]
 
 
-class BuildError(Exception):
+class BuildError(CompileError):
     """Raised on misuse of the builder API."""
 
 

@@ -35,9 +35,10 @@ from repro.ir.instr import Instr, Op, TermKind, Terminator
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType, Imm, Operand, Reg
 from repro.ir.validate import validate_kernel
+from repro.resilience.errors import CompileError
 
 
-class ParseError(Exception):
+class ParseError(CompileError):
     """Malformed kernel text."""
 
     def __init__(self, line_no: int, message: str):

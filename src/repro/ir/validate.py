@@ -13,6 +13,7 @@ from repro.ir.block import BasicBlock
 from repro.ir.instr import Instr, Op, TermKind
 from repro.ir.kernel import Kernel
 from repro.ir.types import Imm, Reg, is_reserved_reg, param_reg
+from repro.resilience.errors import CompileError
 
 #: Expected operand count for each opcode.
 _ARITY = {
@@ -30,7 +31,7 @@ _ARITY = {
 }
 
 
-class ValidationError(Exception):
+class ValidationError(CompileError):
     """Raised when a kernel violates a structural or semantic rule."""
 
 

@@ -20,10 +20,19 @@ from repro.memory.dram import DRAM
 
 
 class MemorySystem:
-    """L1 + L2 + DRAM with configurable L1 write policy."""
+    """L1 + L2 + DRAM with configurable L1 write policy.
 
-    def __init__(self, config: MemoryConfig, l1_write_back: bool):
+    ``faults`` (a :class:`repro.resilience.faults.FaultInjector`) hooks
+    the scalar and coalesced access paths: a ``mem_drop`` fault makes a
+    response complete ``drop_stall_cycles`` in the future — the timing
+    shape of a response that never returns, which the forward-progress
+    watchdog then catches as a hang.
+    """
+
+    def __init__(self, config: MemoryConfig, l1_write_back: bool,
+                 faults=None):
         self.config = config
+        self.faults = faults
         self.dram = DRAM(config)
         self.l2 = Cache(
             "L2",
@@ -65,12 +74,22 @@ class MemorySystem:
         """
         line = line_address_of_word(word_addr, self.config.l1_line_bytes)
         bank = int(word_addr) % self.config.l1_banks
-        return self.l1.access(time, line, is_write, bank=bank)
+        done = self.l1.access(time, line, is_write, bank=bank)
+        if self.faults is not None and self.faults.drop_response(
+            "l1-word", word_addr, time
+        ):
+            return done + self.faults.drop_stall_cycles
+        return done
 
     # -- coalesced (Fermi LDST pipeline) --------------------------------
     def access_line(self, time: float, line_addr: int, is_write: bool) -> float:
         """One 128-byte transaction (a coalesced warp segment)."""
-        return self.l1.access(time, line_addr, is_write)
+        done = self.l1.access(time, line_addr, is_write)
+        if self.faults is not None and self.faults.drop_response(
+            "l1-line", line_addr, time
+        ):
+            return done + self.faults.drop_stall_cycles
+        return done
 
     @property
     def l1_stats(self) -> CacheStats:

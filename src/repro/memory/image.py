@@ -17,13 +17,15 @@ from typing import Dict, Iterable, List, Sequence, Union
 
 import numpy as np
 
+from repro.resilience.errors import SimulationError
+
 #: Bytes per machine word (for cache line / bank geometry).
 WORD_BYTES = 4
 
 Number = Union[int, float, bool]
 
 
-class MemoryError_(Exception):
+class MemoryError_(SimulationError):
     """Out-of-bounds or allocator misuse."""
 
 

@@ -1,0 +1,65 @@
+"""Resilience subsystem: typed errors, watchdogs, fault injection.
+
+The simulators in this repository run long event-driven loops (MT-CGRF
+token flow, SGMF dataflow firing, Fermi SIMT replay); this package is
+the substrate that keeps one bad workload from taking down a whole
+evaluation sweep:
+
+* :mod:`repro.resilience.errors` — the ``ReproError`` exception
+  hierarchy every failure in the library descends from;
+* :mod:`repro.resilience.watchdog` — the forward-progress watchdog
+  hooked into all three simulator main loops, with diagnostic snapshots;
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection used to prove the watchdog and verification actually catch
+  hangs and silent corruption;
+* :mod:`repro.resilience.policy` — bounded-retry policy and the
+  structured failure records behind degraded suite rows.
+
+See ``docs/resilience.md`` for the operator-facing guide.
+"""
+
+from repro.resilience.errors import (
+    CompileError,
+    FaultInjectedError,
+    MappingError,
+    ReproError,
+    SimulationError,
+    SimulationHangError,
+    VerificationError,
+)
+from repro.resilience.faults import (
+    DROP_STALL_CYCLES,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultLogEntry,
+    FaultSpec,
+)
+from repro.resilience.policy import AttemptRecord, KernelFailure, RetryPolicy
+from repro.resilience.watchdog import (
+    DiagnosticSnapshot,
+    ForwardProgressWatchdog,
+    WatchdogConfig,
+    snapshot_from_replicas,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CompileError",
+    "DROP_STALL_CYCLES",
+    "DiagnosticSnapshot",
+    "FAULT_KINDS",
+    "FaultInjectedError",
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultSpec",
+    "ForwardProgressWatchdog",
+    "KernelFailure",
+    "MappingError",
+    "ReproError",
+    "RetryPolicy",
+    "SimulationError",
+    "SimulationHangError",
+    "VerificationError",
+    "WatchdogConfig",
+    "snapshot_from_replicas",
+]

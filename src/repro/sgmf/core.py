@@ -26,6 +26,13 @@ from repro.memory.cache import CacheStats
 from repro.memory.dram import DRAMStats
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.image import MemoryImage
+from repro.resilience.errors import SimulationHangError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.watchdog import (
+    ForwardProgressWatchdog,
+    WatchdogConfig,
+    snapshot_from_replicas,
+)
 from repro.sgmf.mapping import SGMFMapping, SGMFUnmappableError, map_kernel
 from repro.vgiw.mtcgrf import FabricStats, _ReplicaState, _op_energy_class
 
@@ -57,6 +64,7 @@ class SGMFCore:
 
     def __init__(self, config: Optional[SGMFConfig] = None):
         self.config = config or SGMFConfig()
+        self._faults: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -66,6 +74,8 @@ class SGMFCore:
         params: Dict[str, Number],
         n_threads: int,
         max_block_visits: int = 1_000_000,
+        watchdog: Optional[WatchdogConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> SGMFRunResult:
         """Execute the kernel, or raise :class:`SGMFUnmappableError`."""
         config = self.config
@@ -78,15 +88,27 @@ class SGMFCore:
             )
             for name in kernel.params
         }
-        memsys = MemorySystem(config.memory, l1_write_back=config.l1_write_back)
+        memsys = MemorySystem(
+            config.memory, l1_write_back=config.l1_write_back, faults=faults
+        )
         stats = FabricStats()
         self._waste_fires = 0
+        self._faults = faults
 
         n_replicas = mapping.n_replicas
         reps = [_ReplicaState(config) for _ in range(n_replicas)]
         topo = {name: dfg.topo_order() for name, dfg in mapping.dfgs.items()}
         sinks = {name: dfg.sink_nodes() for name, dfg in mapping.dfgs.items()}
         depth = config.token_buffer_depth
+        wd = ForwardProgressWatchdog(watchdog, "sgmf", kernel.name)
+        wd.start(0.0)
+        if faults is not None:
+            faults.maybe_abort(f"sgmf/{kernel.name}", 0.0)
+
+        def snapshot(now: float):
+            return snapshot_from_replicas(
+                sim="sgmf", kernel=kernel.name, now=now, replicas=reps,
+            )
 
         end_time = 0.0
         for i in range(n_threads):
@@ -94,14 +116,21 @@ class SGMFCore:
             rep = reps[ridx]
             inject = rep.next_inject
             if len(rep.window) >= depth:
-                inject = max(inject, rep.window[len(rep.window) - depth])
+                bound = rep.window[len(rep.window) - depth]
+                if bound > inject:
+                    rep.inject_wait += bound - inject
+                    inject = bound
+            rep.inject_times.append(inject)
             completion = self._run_thread(
                 mapping, topo, sinks, rep, mapping.replicas[ridx], i, inject,
                 params, memory, memsys, stats, max_block_visits,
+                wd, snapshot,
             )
             rep.next_inject = inject + 1.0
             rep.window.append(completion)
             end_time = max(end_time, completion)
+            wd.progress(completion)
+            wd.check(end_time, snapshot)
 
         waste_fires = self._waste_fires
         stats.threads = n_threads
@@ -132,8 +161,11 @@ class SGMFCore:
         memsys: MemorySystem,
         stats: FabricStats,
         max_block_visits: int,
+        wd: Optional[ForwardProgressWatchdog] = None,
+        snapshot=None,
     ) -> float:
         config = self.config
+        faults = self._faults
         kernel = mapping.kernel
         regs_ready: Dict[str, float] = {}
         reg_vals: Dict[str, Number] = {}
@@ -146,9 +178,19 @@ class SGMFCore:
         while current is not None:
             visits += 1
             if visits > max_block_visits:
-                raise RuntimeError(
-                    f"SGMF thread {tid} exceeded {max_block_visits} block visits"
+                raise SimulationHangError(
+                    f"SGMF thread {tid} exceeded {max_block_visits} "
+                    f"block visits",
+                    snapshot=None if snapshot is None else snapshot(entry_time),
+                    kernel=kernel.name,
+                    block=current,
+                    thread=tid,
+                    visits=visits,
                 )
+            if wd is not None and not visits % 256:
+                # Periodic budget check inside a (possibly unbounded)
+                # per-thread control-flow walk.
+                wd.check(entry_time, snapshot)
             visited.add(current)
             dfg = mapping.dfgs[current]
             pl = placed[current]
@@ -232,6 +274,10 @@ class SGMFCore:
                         result = int(result)
                     elif node.dtype is DType.FLOAT:
                         result = float(result)
+                    if faults is not None:
+                        result = faults.corrupt_token(
+                            current, pl.unit_of[nid], tid, start, result
+                        )
                     value[nid] = result
 
                 stats.node_fires += 1

@@ -30,9 +30,10 @@ from repro.compiler.livevalues import allocate_live_values
 from repro.compiler.placement import Fabric, PlacedReplica, _place_one
 from repro.compiler.schedule import BlockSchedule, schedule_blocks
 from repro.ir.kernel import Kernel
+from repro.resilience.errors import MappingError
 
 
-class SGMFUnmappableError(Exception):
+class SGMFUnmappableError(MappingError):
     """The kernel's CDFG exceeds the MT-CGRF capacity (paper §5: the
     SGMF comparison "is thus based on the subset of kernels that can be
     mapped to the SGMF cores")."""

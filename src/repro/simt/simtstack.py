@@ -18,11 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.resilience.errors import SimulationError
+
 #: Sentinel "block" meaning the lanes have left the kernel.
 EXIT = "<exit>"
 
 
-class SIMTStackError(Exception):
+class SIMTStackError(SimulationError):
     """Stack protocol violation (indicates a simulator bug)."""
 
 

@@ -40,6 +40,12 @@ from repro.memory.coalescer import coalesce_word_addresses
 from repro.memory.dram import DRAMStats
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.image import MemoryImage
+from repro.resilience.faults import FaultInjector
+from repro.resilience.watchdog import (
+    DiagnosticSnapshot,
+    ForwardProgressWatchdog,
+    WatchdogConfig,
+)
 from repro.simt.simtstack import SIMTStack
 from repro.simt.warp import Warp
 
@@ -135,6 +141,8 @@ class FermiSM:
         memory: MemoryImage,
         params: Dict[str, Number],
         n_threads: int,
+        watchdog: Optional[WatchdogConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> FermiRunResult:
         config = self.config
         params = {
@@ -145,9 +153,15 @@ class FermiSM:
             )
             for name in kernel.params
         }
-        memsys = MemorySystem(config.memory, l1_write_back=config.l1_write_back)
+        memsys = MemorySystem(
+            config.memory, l1_write_back=config.l1_write_back, faults=faults
+        )
         ipdom = immediate_post_dominators(kernel)
         stats = SMStats()
+        wd = ForwardProgressWatchdog(watchdog, "fermi", kernel.name)
+        wd.start(0.0)
+        if faults is not None:
+            faults.maybe_abort(f"fermi/{kernel.name}", 0.0)
 
         ws = config.warp_size
         n_warps = -(-n_threads // ws)
@@ -185,9 +199,44 @@ class FermiSM:
         self._mshr_outstanding: List[float] = []
         horizon = 0.0
         issue_period = config.issue_period_cycles
+        ctx: Optional[_WarpCtx] = None
 
+        def snapshot(now: float) -> DiagnosticSnapshot:
+            stalled: Dict[str, float] = {}
+            for label, free in (
+                ("alu_pipe", self._alu_free),
+                ("ldst_pipe", self._ldst_free),
+                ("sfu_pipe", self._sfu_free),
+                ("issue_slots", issue_free),
+            ):
+                backlog = free - now
+                if backlog > 0:
+                    stalled[label] = backlog
+            detail: Dict[str, object] = {"resident_warps": len(heap) + 1}
+            oldest = None
+            if ctx is not None:
+                detail["current_warp"] = ctx.warp.warp_id
+                detail["current_block"] = ctx.block
+                detail["current_instr_idx"] = ctx.idx
+                oldest = max(0.0, now - ctx.ready)
+            return DiagnosticSnapshot(
+                sim="fermi",
+                kernel=kernel.name,
+                cycle=now,
+                events_retired=0,
+                last_progress_cycle=0.0,
+                in_flight={"warps": len(heap) + 1},
+                mshr_outstanding=len(self._mshr_outstanding),
+                stalled_units=stalled,
+                oldest_thread_age=oldest,
+                detail=detail,
+            )
+
+        wd_armed = wd.armed
         while heap:
             t, _, ctx = heapq.heappop(heap)
+            if wd_armed:
+                wd.check(t, snapshot)
             block = kernel.blocks[ctx.block]
             mask = ctx.stack.current().mask
             active = bin(mask).count("1")
@@ -236,6 +285,7 @@ class FermiSM:
             next_block = ctx.stack.peek_block()
             if next_block is None:
                 # Warp finished; a pending warp takes its slot.
+                wd.progress(issue + 1.0)
                 nxt = next(pending, None)
                 if nxt is not None:
                     heapq.heappush(

@@ -26,6 +26,9 @@ from repro.memory.cache import CacheStats
 from repro.memory.dram import DRAMStats
 from repro.memory.hierarchy import LiveValueCache, MemorySystem
 from repro.memory.image import MemoryImage
+from repro.resilience.errors import SimulationHangError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.watchdog import ForwardProgressWatchdog, WatchdogConfig
 from repro.vgiw.bbs import BBSStats, iter_batch_tids, terminator_batches
 from repro.vgiw.cvt import ControlVectorTable, CVTStats
 from repro.vgiw.mtcgrf import FabricStats, MTCGRFExecutor
@@ -118,8 +121,17 @@ class VGIWCore:
         n_threads: int,
         max_block_executions: int = 1_000_000,
         profile: bool = False,
+        watchdog: Optional[WatchdogConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> VGIWRunResult:
-        """Execute ``n_threads`` of ``kernel`` against ``memory``."""
+        """Execute ``n_threads`` of ``kernel`` against ``memory``.
+
+        ``watchdog`` arms the forward-progress watchdog (deadlock and
+        cycle-budget detection, raising
+        :class:`~repro.resilience.errors.SimulationHangError` with a
+        diagnostic snapshot); ``faults`` threads a deterministic fault
+        injector through the fabric and the memory hierarchy.
+        """
         config = self.config
         compiled = (
             kernel
@@ -136,7 +148,9 @@ class VGIWCore:
             for name in kernel_obj.params
         }
 
-        memsys = MemorySystem(config.memory, l1_write_back=config.l1_write_back)
+        memsys = MemorySystem(
+            config.memory, l1_write_back=config.l1_write_back, faults=faults
+        )
         lvc = LiveValueCache(
             size_bytes=config.lvc_size_bytes,
             line_bytes=config.lvc_line_bytes,
@@ -145,9 +159,14 @@ class VGIWCore:
             hit_latency=config.lvc_hit_latency,
             l2=memsys.l2,
         )
-        executor = MTCGRFExecutor(config, memsys, lvc, memory, params)
+        executor = MTCGRFExecutor(
+            config, memsys, lvc, memory, params,
+            faults=faults, fabric=compiled.fabric,
+        )
         bbs = BBSStats()
         cvt_stats_total = CVTStats()
+        wd = ForwardProgressWatchdog(watchdog, "vgiw", kernel_obj.name)
+        wd.start(0.0)
 
         profile_records: List[BlockExecution] = []
         n_blocks = compiled.n_blocks
@@ -182,14 +201,32 @@ class VGIWCore:
                     return cvt.next_nonempty(last_block)
                 return cvt.first_nonempty()
 
+            def snapshot(now: float):
+                snap = executor.diagnostic_snapshot(
+                    now, sim="vgiw", kernel=kernel_obj.name,
+                )
+                snap.detail["tile"] = tiles
+                snap.detail["cvt_pending"] = {
+                    compiled.schedule.name_of(bid): cvt.pending_count(bid)
+                    for bid in range(n_blocks)
+                    if cvt.pending_count(bid)
+                }
+                return snap
+
             executions = 0
             while (block_id := select()) is not None:
                 last_block = block_id
                 executions += 1
                 if executions > max_block_executions:
-                    raise RuntimeError(
+                    raise SimulationHangError(
                         f"kernel {kernel_obj.name}: runaway block scheduling "
-                        f"(> {max_block_executions} block executions)"
+                        f"(> {max_block_executions} block executions)",
+                        snapshot=snapshot(time),
+                        kernel=kernel_obj.name,
+                        block=compiled.schedule.name_of(block_id),
+                        block_id=block_id,
+                        tile=tiles,
+                        threads_retired=wd.events_retired,
                     )
                 cb = compiled.block_by_id(block_id)
 
@@ -211,6 +248,10 @@ class VGIWCore:
                 bbs.blocks_executed += 1
 
                 outcomes, end_time = executor.execute_block(cb, tids, time)
+                retired = sum(1 for oc in outcomes if oc.next_block is None)
+                if retired:
+                    wd.progress(end_time, retired)
+                wd.check(end_time, snapshot)
                 if profile:
                     profile_records.append(BlockExecution(
                         block=cb.name, block_id=block_id,

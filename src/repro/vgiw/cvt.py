@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from repro.resilience.errors import SimulationError
+
 
 @dataclass
 class CVTStats:
@@ -29,7 +31,7 @@ class CVTStats:
         return self.word_reads + self.word_writes
 
 
-class CVTError(Exception):
+class CVTError(SimulationError):
     """Protocol violation (double registration, bad thread ID)."""
 
 

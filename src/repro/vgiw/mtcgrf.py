@@ -44,6 +44,12 @@ from repro.ir.instr import EVAL, Op, TermKind
 from repro.ir.types import DType
 from repro.memory.hierarchy import LiveValueCache, MemorySystem
 from repro.memory.image import MemoryImage
+from repro.resilience.errors import SimulationError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.watchdog import (
+    DiagnosticSnapshot,
+    snapshot_from_replicas,
+)
 
 Number = Union[int, float, bool]
 
@@ -148,9 +154,15 @@ class _ReplicaState:
         self.config = config
         self.next_inject: float = 0.0
         self.window: List[float] = []  # completion times, injection order
+        #: injection time per thread, parallel to ``window`` (lets the
+        #: watchdog compute the oldest in-flight thread's age)
+        self.inject_times: List[float] = []
+        #: accumulated issue-stall cycles per unit (watchdog histogram)
+        self.unit_wait: Dict[int, float] = {}
+        #: cycles injection stalled on a full token-buffer window
+        self.inject_wait: float = 0.0
 
-    @staticmethod
-    def _claim(busy_map: Dict[int, set], high_map: Dict[int, int],
+    def _claim(self, busy_map: Dict[int, set], high_map: Dict[int, int],
                uid: int, ready: float) -> float:
         """Claim the first free cycle of a per-unit calendar."""
         t = int(ready) if ready == int(ready) else int(ready) + 1
@@ -165,6 +177,10 @@ class _ReplicaState:
         busy.add(start)
         if start > high_map.get(uid, -1):
             high_map[uid] = start
+        if start > t:
+            # Queueing delay behind earlier traffic on this unit — the
+            # per-unit stall histogram the hang diagnostics report.
+            self.unit_wait[uid] = self.unit_wait.get(uid, 0.0) + (start - t)
         return float(start)
 
     def issue(self, uid: int, ready: float) -> float:
@@ -187,7 +203,15 @@ class _ReplicaState:
     def issue_mem(self, uid: int, ready: float, entries: int) -> float:
         out = self.ldst_outstanding.setdefault(uid, [])
         if len(out) >= entries:
-            ready = max(ready, heapq.heappop(out))
+            oldest = heapq.heappop(out)
+            if oldest > ready:
+                # Reservation buffer full: the unit is blocked waiting
+                # for an outstanding memory response (this is where a
+                # dropped response shows up in the stall histogram).
+                self.unit_wait[uid] = (
+                    self.unit_wait.get(uid, 0.0) + (oldest - ready)
+                )
+                ready = oldest
         return self.issue(uid, ready)
 
     def retire_mem(self, uid: int, completion: float) -> None:
@@ -204,15 +228,49 @@ class MTCGRFExecutor:
         lvc: LiveValueCache,
         memory: MemoryImage,
         params: Dict[str, Number],
+        faults: Optional[FaultInjector] = None,
+        fabric=None,
     ):
         self.config = config
         self.memsys = memsys
         self.lvc = lvc
         self.memory = memory
         self.params = params
+        self.faults = faults
+        self.fabric = fabric  # optional: names units in hang snapshots
         self.stats = FabricStats()
         #: functional live-value matrix: (lv_id, tid) -> value
         self.lv_values: Dict[Tuple[int, int], Number] = {}
+        #: watchdog diagnostics: the block/replicas being streamed now
+        self.last_block: Optional[CompiledBlock] = None
+        self.last_replicas: List[_ReplicaState] = []
+
+    # ------------------------------------------------------------------
+    def unit_name(self, uid: int) -> str:
+        """``unit{uid}[{kind}]`` when the fabric is known (snapshots)."""
+        if self.fabric is not None and uid < len(self.fabric.units):
+            kind = self.fabric.units[uid].kind
+            return f"unit{uid}[{getattr(kind, 'name', kind).lower()}]"
+        return f"unit{uid}"
+
+    def diagnostic_snapshot(self, now: float, sim: str = "vgiw",
+                            kernel: str = "?",
+                            detail=None) -> DiagnosticSnapshot:
+        """State of the block currently streaming through the fabric."""
+        extra = dict(detail or {})
+        if self.last_block is not None:
+            extra.setdefault("current_block", self.last_block.name)
+        extra.setdefault("lvc_word_requests", self.lvc.accesses)
+        extra.setdefault("l1_misses", self.memsys.l1_stats.misses)
+        return snapshot_from_replicas(
+            sim=sim,
+            kernel=kernel,
+            now=now,
+            replicas=self.last_replicas,
+            unit_name=self.unit_name,
+            block=None if self.last_block is None else self.last_block.name,
+            detail=extra,
+        )
 
     # ------------------------------------------------------------------
     def execute_block(
@@ -228,6 +286,10 @@ class MTCGRFExecutor:
         replicas = [_ReplicaState(self.config) for _ in range(n_replicas)]
         for r in replicas:
             r.next_inject = start_time
+        self.last_block = cb
+        self.last_replicas = replicas
+        if self.faults is not None:
+            self.faults.maybe_abort(f"vgiw/{cb.name}", start_time)
 
         outcomes: List[ThreadOutcome] = []
         end_time = start_time
@@ -244,7 +306,13 @@ class MTCGRFExecutor:
             placed = cb.placement.replicas[ridx]
             inject = rep.next_inject
             if len(rep.window) >= depth:
-                inject = max(inject, rep.window[len(rep.window) - depth])
+                bound = rep.window[len(rep.window) - depth]
+                if bound > inject:
+                    # Token-buffer back-pressure: the virtual-channel
+                    # window is full until an older thread drains.
+                    rep.inject_wait += bound - inject
+                    inject = bound
+            rep.inject_times.append(inject)
             outcome, completion = self._run_thread(
                 cb.dfg, order, sinks, placed, rep, tid, inject
             )
@@ -273,6 +341,7 @@ class MTCGRFExecutor:
         value: Dict[int, Number] = {}
         next_block: Optional[str] = None
         stats = self.stats
+        faults = self.faults
 
         def src_value(src) -> Number:
             if isinstance(src, NodeSrc):
@@ -306,12 +375,20 @@ class MTCGRFExecutor:
                 rep.retire_mem(uid, completion)
                 done[nid] = completion
                 try:
-                    value[nid] = self.lv_values[(node.lv_id, tid)]
+                    lv_value = self.lv_values[(node.lv_id, tid)]
                 except KeyError:
-                    raise RuntimeError(
+                    raise SimulationError(
                         f"thread {tid} fetches live value {node.lv_id} "
-                        f"(%{node.out_reg}) before any block stored it"
+                        f"(%{node.out_reg}) before any block stored it",
+                        block=dfg.block_name,
+                        thread=tid,
+                        live_value=node.lv_id,
                     ) from None
+                if faults is not None:
+                    lv_value = faults.corrupt_lv(
+                        node.lv_id, tid, completion, lv_value
+                    )
+                value[nid] = lv_value
             elif kind is NodeKind.LVSTORE:
                 start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
                 completion = self.lvc.access(
@@ -357,6 +434,10 @@ class MTCGRFExecutor:
                     result = int(result)
                 elif node.dtype is DType.FLOAT:
                     result = float(result)
+                if faults is not None:
+                    result = faults.corrupt_token(
+                        dfg.block_name, uid, tid, start, result
+                    )
                 value[nid] = result
 
             stats.node_fires += 1
