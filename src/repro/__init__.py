@@ -21,10 +21,14 @@ It provides, as a pure-Python simulation library:
 * a GPUWattch-style energy model (:mod:`repro.power`),
 * Rodinia-like benchmark kernels (:mod:`repro.kernels`),
 * the evaluation harness that regenerates every table and figure of the
-  paper (:mod:`repro.evalharness`), and
+  paper (:mod:`repro.evalharness`),
 * the resilience subsystem — typed errors, forward-progress watchdogs,
   deterministic fault injection, fault-isolating suite runs
-  (:mod:`repro.resilience`, see ``docs/resilience.md``).
+  (:mod:`repro.resilience`, see ``docs/resilience.md``), and
+* the observability layer — cycle-level tracing with Chrome-trace
+  export and a cross-engine metric registry (:mod:`repro.obs`), riding
+  on the unified engine protocol / result base / backend registry
+  (:mod:`repro.engine`, see ``docs/observability.md``).
 
 Quickstart::
 

@@ -5,6 +5,7 @@ Usage::
     python -m repro.evalharness [--scale tiny|small|medium]
                                 [--kernels name,name,...]
                                 [--out FILE] [--json FILE]
+                                [--trace FILE] [--metrics]
                                 [--inject kernel=kind[:seed[:rate]]]...
                                 [--max-cycles N] [--stall-cycles N]
                                 [--no-isolate]
@@ -14,6 +15,12 @@ be repeated); combined with the default fault isolation the affected
 kernel shows up as a degraded row while the rest of the sweep completes
 normally.  ``--max-cycles``/``--stall-cycles`` arm the forward-progress
 watchdog in every simulator.  See ``docs/resilience.md``.
+
+``--trace FILE`` threads one shared :class:`repro.obs.Tracer` through
+every kernel on every machine and writes a Chrome-trace JSON to FILE
+(open it in Perfetto / ``chrome://tracing``).  ``--metrics`` records
+the cross-engine metric registry and appends its column group to the
+report.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.evalharness.report import generate_report
 from repro.evalharness.runner import run_suite
 from repro.evalharness.serialize import runs_to_json
 from repro.kernels.registry import all_names
+from repro.obs import Metrics, Tracer
 from repro.resilience import FAULT_KINDS, FaultSpec, WatchdogConfig
 
 
@@ -54,6 +62,13 @@ def main(argv=None) -> int:
                         help="write the markdown report to this file")
     parser.add_argument("--json", default=None,
                         help="also archive raw results as JSON")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record a cycle-level timeline of the sweep "
+                             "and write Chrome-trace JSON to FILE "
+                             "(Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="record the cross-engine metric registry and "
+                             "append its column group to the report")
     parser.add_argument("--inject", action="append", default=[],
                         metavar="KERNEL=KIND[:SEED[:RATE]]",
                         help="arm a fault campaign on one kernel "
@@ -90,11 +105,20 @@ def main(argv=None) -> int:
         # (mem_drop) are caught instead of inflating the sweep runtime.
         watchdog = WatchdogConfig(max_cycles=5e6)
 
+    tracer = Tracer() if args.trace else None
+    metrics = Metrics() if args.metrics else None
+
     t0 = time.time()
     runs = run_suite(names, scale=args.scale, isolate=not args.no_isolate,
-                     watchdog=watchdog, inject=inject)
-    report = generate_report(runs, scale=args.scale)
+                     watchdog=watchdog, inject=inject,
+                     tracer=tracer, metrics=metrics)
+    report = generate_report(runs, scale=args.scale, metrics=metrics)
     elapsed = time.time() - t0
+
+    if tracer is not None:
+        tracer.dump(args.trace)
+        print(f"wrote {args.trace} ({len(tracer)} events, "
+              f"{tracer.dropped} dropped)", file=sys.stderr)
 
     if args.json:
         with open(args.json, "w") as fh:

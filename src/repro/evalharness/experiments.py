@@ -15,6 +15,7 @@ from repro.arch.config import FabricSpec, FermiConfig, MemoryConfig, VGIWConfig
 from repro.evalharness.runner import KernelRun
 from repro.evalharness.tables import ExperimentTable, arithmean, geomean
 from repro.kernels.registry import TABLE2
+from repro.obs import SHARED_COUNTERS, SHARED_GAUGES, Metrics
 
 
 def table1_configuration() -> ExperimentTable:
@@ -274,6 +275,38 @@ def degraded_kernels(failures: Dict) -> ExperimentTable:
     t.notes.append(
         "each kernel above exhausted its retry budget; healthy rows in "
         "every other table are unaffected (docs/resilience.md)"
+    )
+    return t
+
+
+def metrics_table(metrics: Metrics) -> ExperimentTable:
+    """Metrics column group: the shared counter namespace per engine.
+
+    ``metrics`` is the :class:`repro.obs.Metrics` registry threaded
+    through the sweep (``--metrics`` on the CLI).  Rows are the shared
+    cross-engine names (:data:`repro.obs.SHARED_GAUGES` then
+    :data:`repro.obs.SHARED_COUNTERS`); columns are the engine scopes
+    that recorded anything.  Counters accumulate over every kernel in
+    the sweep; gauges hold the most recent run's value.
+    """
+    engines = [s for s in ("fermi", "vgiw", "sgmf", "interp")
+               if s in metrics.scope_names()]
+    t = ExperimentTable(
+        "Metrics", "Shared metric namespace across engines",
+        ["Metric"] + [e.capitalize() for e in engines],
+    )
+    for name in tuple(SHARED_GAUGES) + tuple(SHARED_COUNTERS):
+        t.add(name, *(metrics.value(f"{e}/{name}") for e in engines))
+    extras = sum(
+        1 for e in engines
+        for n in metrics.names(f"{e}/")
+        if n[len(e) + 1:] not in SHARED_GAUGES + SHARED_COUNTERS
+    )
+    t.notes.append(
+        "counters accumulate across the whole sweep; gauges (run.cycles) "
+        "show the most recent kernel only.  Engine-specific metrics "
+        f"({extras} more names) ride in the JSON/`Metrics.format()` dump "
+        "(docs/observability.md)"
     )
     return t
 

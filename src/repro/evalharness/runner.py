@@ -35,6 +35,7 @@ from repro.compiler.optimize import optimize_kernel
 from repro.interp import interpret
 from repro.kernels.base import Workload
 from repro.kernels.registry import all_names, make_workload
+from repro.obs import Metrics, Tracer
 from repro.power import (
     EnergyBreakdown,
     energy_fermi,
@@ -78,6 +79,10 @@ class KernelRun:
     fermi_energy: EnergyBreakdown
     vgiw_energy: EnergyBreakdown
     sgmf_energy: Optional[EnergyBreakdown]
+    #: observability attachments (populated when run_kernel was given a
+    #: tracer / metrics registry; see repro.obs)
+    trace: Optional[Tracer] = None
+    metrics: Optional[Metrics] = None
 
     @property
     def speedup_vs_fermi(self) -> float:
@@ -112,12 +117,18 @@ def run_kernel(
     optimize: bool = True,
     watchdog: Optional[WatchdogConfig] = None,
     faults: Optional[FaultInjector] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
 ) -> KernelRun:
     """Run one registry workload on all three machines.
 
     ``watchdog`` arms the forward-progress watchdog in every simulator;
-    ``faults`` threads a (single-run) fault injector through them.  Both
-    default to off, so the measurement path is unchanged.
+    ``faults`` threads a (single-run) fault injector through them.
+    ``tracer`` / ``metrics`` (see :mod:`repro.obs`) are shared by the
+    three machines — engines write to distinct trace ``pid`` lanes and
+    metric scopes, so one export carries the whole cross-machine
+    comparison.  Everything defaults to off, so the measurement path is
+    unchanged.
     """
     workload = make_workload(name, scale)
     if optimize:
@@ -147,14 +158,14 @@ def run_kernel(
     mem_f = workload.memory.clone()
     fermi = FermiSM(fermi_config).run(
         kernel, mem_f, workload.params, workload.n_threads,
-        watchdog=watchdog, faults=faults,
+        watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
     )
     check(mem_f, "Fermi")
 
     mem_v = workload.memory.clone()
     vgiw = VGIWCore(vgiw_config).run(
         kernel, mem_v, workload.params, workload.n_threads, profile=True,
-        watchdog=watchdog, faults=faults,
+        watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
     )
     check(mem_v, "VGIW")
 
@@ -164,7 +175,7 @@ def run_kernel(
         mem_s = workload.memory.clone()
         sgmf = SGMFCore(sgmf_config).run(
             sgmf_kernel, mem_s, workload.params, workload.n_threads,
-            watchdog=watchdog, faults=faults,
+            watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
         )
         check(mem_s, "SGMF")
         sgmf_bd = energy_sgmf(sgmf)
@@ -182,6 +193,8 @@ def run_kernel(
         fermi_energy=energy_fermi(fermi),
         vgiw_energy=energy_vgiw(vgiw),
         sgmf_energy=sgmf_bd,
+        trace=tracer,
+        metrics=metrics,
     )
 
 
@@ -238,6 +251,8 @@ def run_suite(
     watchdog: Optional[WatchdogConfig] = None,
     retry: Optional[RetryPolicy] = None,
     inject: Optional[Dict[str, FaultSpec]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
 ) -> SuiteResult:
     """Run the whole Table 2 suite (the data behind every figure).
 
@@ -257,6 +272,10 @@ def run_suite(
     inject:
         Optional per-kernel fault campaigns: ``{name: FaultSpec}``.
         Kernels absent from the mapping run fault-free.
+    tracer / metrics:
+        Optional shared :class:`repro.obs.Tracer` /
+        :class:`repro.obs.Metrics` threaded through every kernel on
+        every machine (``--trace`` / ``--metrics`` on the CLI).
     """
     names = list(names) if names is not None else all_names()
     retry = retry or RetryPolicy()
@@ -270,7 +289,7 @@ def run_suite(
             injector = FaultInjector(spec) if spec is not None else None
             runs[name] = run_kernel(
                 name, scale, verify=verify, watchdog=watchdog,
-                faults=injector,
+                faults=injector, tracer=tracer, metrics=metrics,
             )
             continue
 
@@ -284,7 +303,7 @@ def run_suite(
             try:
                 runs[name] = run_kernel(
                     name, scale, verify=verify, watchdog=wd,
-                    faults=injector,
+                    faults=injector, tracer=tracer, metrics=metrics,
                 )
                 break
             except ReproError as exc:

@@ -1,5 +1,5 @@
 """Host-side convenience API (CUDA-runtime-flavoured)."""
 
-from repro.host.device import Device, DeviceArray, HostError
+from repro.host.device import Device, DeviceArray, HostError, LaunchStats
 
-__all__ = ["Device", "DeviceArray", "HostError"]
+__all__ = ["Device", "DeviceArray", "HostError", "LaunchStats"]

@@ -20,27 +20,65 @@ interpreter (no timing), which is handy for golden checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.arch.config import FermiConfig, SGMFConfig, VGIWConfig
 from repro.compiler.optimize import optimize_kernel
-from repro.interp import interpret
+from repro.engine import create_engine, engine_names
 from repro.ir.kernel import Kernel
 from repro.memory.image import MemoryImage
 from repro.resilience.errors import ReproError
-from repro.sgmf import SGMFCore
-from repro.simt import FermiSM
-from repro.vgiw import VGIWCore
 
 Number = Union[int, float]
-
-_BACKENDS = ("vgiw", "fermi", "sgmf", "interp")
 
 
 class HostError(ReproError):
     """Misuse of the host API."""
+
+
+class LaunchStats:
+    """Unified per-launch wrapper returned by :meth:`Device.launch`.
+
+    Exposes the same four attributes for every backend —
+
+    * ``cycles`` — simulated end-to-end cycles (``None`` for the
+      untimed interpreter backend);
+    * ``result`` — the backend's native run result
+      (:class:`~repro.engine.EngineRunResult` subclass or
+      :class:`~repro.interp.interpreter.InterpResult`);
+    * ``trace`` — the :class:`repro.obs.Tracer` used, or ``None``;
+    * ``metrics`` — the :class:`repro.obs.Metrics` registry, or ``None``
+
+    — and, as a deprecation shim, forwards every other attribute to the
+    wrapped result, so historical code such as
+    ``stats.bbs.reconfigurations`` or ``stats.sm.simd_efficiency``
+    keeps working unchanged.
+    """
+
+    __slots__ = ("result",)
+
+    def __init__(self, result: Any):
+        self.result = result
+
+    @property
+    def cycles(self) -> Optional[float]:
+        return getattr(self.result, "cycles", None)
+
+    @property
+    def trace(self):
+        return getattr(self.result, "trace", None)
+
+    @property
+    def metrics(self):
+        return getattr(self.result, "metrics", None)
+
+    def __getattr__(self, name: str):
+        # Deprecation shim: fall through to the backend's native result.
+        return getattr(self.result, name)
+
+    def __repr__(self) -> str:
+        return f"LaunchStats(cycles={self.cycles}, result={self.result!r})"
 
 
 @dataclass(frozen=True)
@@ -76,7 +114,10 @@ class Device:
     Parameters
     ----------
     backend:
-        ``"vgiw"``, ``"fermi"``, ``"sgmf"``, or ``"interp"``.
+        Any name in the engine registry
+        (:func:`repro.engine.engine_names`): ``"vgiw"``, ``"fermi"``,
+        ``"sgmf"``, ``"interp"``, or a backend registered via
+        :func:`repro.engine.register_engine`.
     memory_words:
         Size of the device memory image.
     config:
@@ -85,18 +126,25 @@ class Device:
         Run the per-launch optimisation pipeline (parameter
         specialisation, unrolling, CSE, FMA contraction) before
         executing.  Applies to every backend identically.
+    tracer / metrics:
+        Optional :class:`repro.obs.Tracer` / :class:`repro.obs.Metrics`
+        threaded through every launch on this device; both are exposed
+        on the returned :class:`LaunchStats`.
     """
 
     def __init__(self, backend: str = "vgiw", memory_words: int = 1 << 20,
-                 config=None, optimize: bool = True):
-        if backend not in _BACKENDS:
+                 config=None, optimize: bool = True,
+                 tracer=None, metrics=None):
+        if backend not in engine_names():
             raise HostError(
-                f"unknown backend {backend!r}; pick one of {_BACKENDS}"
+                f"unknown backend {backend!r}; pick one of {engine_names()}"
             )
         self.backend = backend
         self.memory = MemoryImage(memory_words)
         self.config = config
         self.optimize = optimize
+        self.tracer = tracer
+        self.metrics = metrics
         self._array_counter = 0
         self.last_result = None
 
@@ -124,13 +172,15 @@ class Device:
     # ------------------------------------------------------------------
     # Launch
     # ------------------------------------------------------------------
-    def launch(self, kernel: Kernel, n_threads: int, **params):
+    def launch(self, kernel: Kernel, n_threads: int, **params) -> LaunchStats:
         """Launch ``kernel`` over ``n_threads`` threads.
 
         Keyword arguments supply the kernel parameters; ``DeviceArray``
-        handles are converted to their base addresses.  Returns the
-        backend's run result (also stored as ``last_result``); the
-        interpreter backend returns its :class:`InterpResult`.
+        handles are converted to their base addresses.  Returns a
+        :class:`LaunchStats` (also stored as ``last_result``) exposing
+        ``cycles`` / ``result`` / ``trace`` / ``metrics`` uniformly
+        across backends, with attribute fall-through to the backend's
+        native run result.
         """
         missing = [p for p in kernel.params if p not in params]
         if missing:
@@ -150,16 +200,13 @@ class Device:
         if self.optimize:
             run_kernel = optimize_kernel(kernel, params=resolved)
 
-        if self.backend == "interp":
-            result = interpret(run_kernel, self.memory, resolved, n_threads)
-        elif self.backend == "vgiw":
-            core = VGIWCore(self.config)
-            result = core.run(run_kernel, self.memory, resolved, n_threads)
-        elif self.backend == "fermi":
-            sm = FermiSM(self.config)
-            result = sm.run(run_kernel, self.memory, resolved, n_threads)
-        else:
-            core = SGMFCore(self.config)
-            result = core.run(run_kernel, self.memory, resolved, n_threads)
-        self.last_result = result
-        return result
+        # Registry dispatch: every backend satisfies the
+        # repro.engine.Engine protocol, so one call site serves all.
+        engine = create_engine(self.backend, self.config)
+        result = engine.run(
+            run_kernel, self.memory, resolved, n_threads,
+            tracer=self.tracer, metrics=self.metrics,
+        )
+        stats = LaunchStats(result)
+        self.last_result = stats
+        return stats

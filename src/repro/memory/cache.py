@@ -71,10 +71,16 @@ class Cache:
         next_level: Optional[NextLevel],
         write_back: bool = True,
         write_validate: bool = False,
+        tracer=None,
     ):
         if size_bytes % (line_bytes * ways) != 0:
             raise ValueError(f"{name}: size not divisible by line*ways")
         self.name = name
+        # Observability hook (repro.obs): when a Tracer is attached,
+        # misses are emitted as instant timeline events.  The disabled
+        # fast path is a single `is not None` test per miss.
+        self.tracer = tracer
+        self._trace_cat = f"mem.{name.lower()}"
         self.line_bytes = line_bytes
         self.ways = ways
         self.banks = banks
@@ -193,6 +199,11 @@ class Cache:
             return start + self.hit_latency
 
         # Miss paths -----------------------------------------------------
+        if self.tracer is not None:
+            self.tracer.instant(
+                "miss", self._trace_cat, start, pid="mem", tid=self.name,
+                line=line_addr, write=is_write,
+            )
         if is_write:
             self.stats.write_misses += 1
             if not self.write_back:

@@ -84,9 +84,13 @@ class _Bank:
 class DRAM:
     """Main memory: the last level of every access path."""
 
-    def __init__(self, config: MemoryConfig):
+    def __init__(self, config: MemoryConfig, tracer=None):
         self.config = config
         self.stats = DRAMStats()
+        # Observability hook (repro.obs): row activations (row-buffer
+        # misses) become instant timeline events when a Tracer is
+        # attached; `None` keeps the hot path to one attribute test.
+        self.tracer = tracer
         self._banks: Dict[Tuple[int, int], _Bank] = {}
         # channel -> occupied burst slots (slot = cycle // burst_cycles)
         self._channel_busy: Dict[int, set] = {}
@@ -133,6 +137,12 @@ class DRAM:
             self.stats.row_hits += 1
         else:
             self.stats.row_misses += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "row_activate", "mem.dram", start, pid="mem",
+                    tid=f"ch{channel}", channel=channel, bank=bank_idx,
+                    row=row,
+                )
         if is_write:
             self.stats.writes += 1
         else:

@@ -30,10 +30,13 @@ class MemorySystem:
     """
 
     def __init__(self, config: MemoryConfig, l1_write_back: bool,
-                 faults=None):
+                 faults=None, tracer=None):
         self.config = config
         self.faults = faults
-        self.dram = DRAM(config)
+        # ``tracer`` (a :class:`repro.obs.Tracer`) threads cycle-level
+        # observability through every level: L1/L2 misses and DRAM row
+        # activations become timeline events.
+        self.dram = DRAM(config, tracer=tracer)
         self.l2 = Cache(
             "L2",
             size_bytes=config.l2_size_bytes,
@@ -46,6 +49,7 @@ class MemorySystem:
             # Every L2 write in this model is a full-line writeback from
             # the L1 or the LVC, so allocating without fetching is exact.
             write_validate=True,
+            tracer=tracer,
         )
         self.l1 = Cache(
             "L1",
@@ -63,6 +67,7 @@ class MemorySystem:
             # Fermi configuration is write-through/no-allocate and never
             # consults this flag on its write path.
             write_validate=l1_write_back,
+            tracer=tracer,
         )
 
     # -- scalar (VGIW/SGMF LDST units) ---------------------------------
@@ -130,6 +135,7 @@ class LiveValueCache:
         hit_latency: int,
         l2: Cache,
         max_threads: int = 1 << 16,
+        tracer=None,
     ):
         self.cache = Cache(
             "LVC",
@@ -141,6 +147,7 @@ class LiveValueCache:
             next_level=l2,
             write_back=True,
             write_validate=True,
+            tracer=tracer,
         )
         self.line_bytes = line_bytes
         self.max_threads = max_threads

@@ -1,0 +1,73 @@
+"""Structured timeline events (the tracer's unit of record).
+
+One :class:`TraceEvent` is one box/marker on a timeline viewed in
+``chrome://tracing`` / Perfetto.  The taxonomy (``cat`` values) is
+documented in ``docs/observability.md``; the important categories are
+
+========== ==================================================
+``vgiw.bbs``    BBS reconfiguration windows
+``vgiw.block``  block-vector executions through the MT-CGRF
+``fermi.simt``  warp launches/retirements and IPDOM divergences
+``sgmf.thread`` per-thread dataflow walks on the SGMF core
+``mem.l1`` / ``mem.l2`` / ``mem.lvc``  cache misses
+``mem.dram``    DRAM row activations
+``watchdog``    diagnostic snapshots attached by the watchdog
+========== ==================================================
+
+Timestamps are simulated cycles.  The Chrome trace format wants
+microseconds; the export uses 1 cycle == 1 us, which Perfetto renders
+fine (``displayTimeUnit`` is advisory only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+#: Chrome trace phase codes this layer emits.
+PH_COMPLETE = "X"   # a span: ts + dur
+PH_INSTANT = "i"    # a point marker
+PH_COUNTER = "C"    # a sampled counter track
+
+
+@dataclass
+class TraceEvent:
+    """One timeline event (Chrome-trace-shaped, cycles for time)."""
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    pid: str = "run"                 # process label (engine name)
+    tid: Union[int, str] = 0         # track within the process
+    args: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_chrome(self, pid_of) -> Dict[str, Any]:
+        """Render as a Chrome trace event dict.
+
+        ``pid_of`` maps the string process label to a stable integer
+        pid (Chrome's JSON format wants numbers).
+        """
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": round(float(self.ts), 3),
+            "pid": pid_of(self.pid),
+            "tid": self.tid if isinstance(self.tid, int) else 0,
+        }
+        if self.ph == PH_COMPLETE:
+            out["dur"] = round(float(self.dur), 3)
+        if self.ph == PH_INSTANT:
+            out["s"] = "t"  # thread-scoped marker
+        if self.args:
+            out["args"] = dict(self.args)
+        elif not isinstance(self.tid, int):
+            out["args"] = {"track": self.tid}
+        return out
+
+    def brief(self) -> str:
+        """Compact one-line rendering (watchdog snapshots embed these)."""
+        span = f"+{self.dur:.0f}" if self.ph == PH_COMPLETE else ""
+        return f"@{self.ts:.0f}{span} {self.cat}:{self.name}"

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.arch.config import SGMFConfig, UnitKind, op_latency_for
 from repro.compiler.dfg import NodeKind, NodeSrc, ImmSrc, ParamSrc
+from repro.engine import EngineRunResult
 from repro.ir.instr import EVAL, TermKind
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType
@@ -26,6 +27,7 @@ from repro.memory.cache import CacheStats
 from repro.memory.dram import DRAMStats
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.image import MemoryImage
+from repro.obs.metrics import Metrics, record_shared_run_metrics
 from repro.resilience.errors import SimulationHangError
 from repro.resilience.faults import FaultInjector
 from repro.resilience.watchdog import (
@@ -40,8 +42,15 @@ Number = Union[int, float, bool]
 
 
 @dataclass
-class SGMFRunResult:
-    """Result of one kernel launch on an SGMF core."""
+class SGMFRunResult(EngineRunResult):
+    """Result of one kernel launch on an SGMF core.
+
+    Shares the :class:`~repro.engine.EngineRunResult` contract with the
+    VGIW and Fermi results (``trace``/``metrics`` attachments included);
+    every historical field keeps its name and position.
+    """
+
+    engine = "sgmf"
 
     kernel_name: str
     n_threads: int
@@ -76,9 +85,20 @@ class SGMFCore:
         max_block_visits: int = 1_000_000,
         watchdog: Optional[WatchdogConfig] = None,
         faults: Optional[FaultInjector] = None,
+        tracer=None,
+        metrics: Optional[Metrics] = None,
     ) -> SGMFRunResult:
-        """Execute the kernel, or raise :class:`SGMFUnmappableError`."""
+        """Execute the kernel, or raise :class:`SGMFUnmappableError`.
+
+        ``tracer`` records per-thread dataflow walks (span events,
+        ``sgmf.thread``) plus cache-miss / DRAM row-activation events
+        from the memory hierarchy; ``metrics`` receives the run's
+        counters under the ``sgmf/`` scope.  Both attach to the
+        returned result.
+        """
         config = self.config
+        # Disabled-mode fast path: one local None-test per hook site.
+        trace = tracer if (tracer is not None and tracer.enabled) else None
         mapping = map_kernel(kernel, config.fabric)
         params = {
             name: (
@@ -89,7 +109,8 @@ class SGMFCore:
             for name in kernel.params
         }
         memsys = MemorySystem(
-            config.memory, l1_write_back=config.l1_write_back, faults=faults
+            config.memory, l1_write_back=config.l1_write_back, faults=faults,
+            tracer=trace,
         )
         stats = FabricStats()
         self._waste_fires = 0
@@ -106,9 +127,17 @@ class SGMFCore:
             faults.maybe_abort(f"sgmf/{kernel.name}", 0.0)
 
         def snapshot(now: float):
-            return snapshot_from_replicas(
+            snap = snapshot_from_replicas(
                 sim="sgmf", kernel=kernel.name, now=now, replicas=reps,
             )
+            if trace is not None:
+                # Hang forensics: the last N timeline events show what
+                # the machine did just before it stopped.
+                snap.detail["recent_trace"] = [
+                    ev.brief() for ev in trace.tail(16)
+                ]
+                trace.instant("snapshot", "watchdog", now, pid="sgmf")
+            return snap
 
         end_time = 0.0
         for i in range(n_threads):
@@ -129,11 +158,28 @@ class SGMFCore:
             rep.next_inject = inject + 1.0
             rep.window.append(completion)
             end_time = max(end_time, completion)
+            if trace is not None:
+                trace.complete(
+                    "thread", "sgmf.thread", inject, completion - inject,
+                    pid="sgmf", tid=ridx, thread=i, replica=ridx,
+                )
             wd.progress(completion)
             wd.check(end_time, snapshot)
 
         waste_fires = self._waste_fires
         stats.threads = n_threads
+        if metrics is not None:
+            scope = metrics.scope("sgmf")
+            record_shared_run_metrics(
+                scope, cycles=end_time, n_threads=n_threads,
+                l1=memsys.l1_stats, l2=memsys.l2_stats,
+                dram=memsys.dram.stats,
+            )
+            scope.inc("fabric.node_fires", stats.node_fires)
+            scope.inc("fabric.token_hops", stats.token_hops)
+            scope.inc("fabric.waste_fires", waste_fires)
+            scope.gauge("fabric.replicas", n_replicas)
+
         return SGMFRunResult(
             kernel_name=kernel.name,
             n_threads=n_threads,
@@ -144,7 +190,7 @@ class SGMFCore:
             l1=memsys.l1_stats,
             l2=memsys.l2_stats,
             dram=memsys.dram.stats,
-        )
+        ).attach_obs(tracer, metrics)
 
     # ------------------------------------------------------------------
     def _run_thread(

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.arch.config import FermiConfig
 from repro.compiler.cfganalysis import immediate_post_dominators
+from repro.engine import EngineRunResult
 from repro.ir.instr import Instr, Op, UnitClass, unit_class
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType, Reg, is_reserved_reg
@@ -40,6 +41,7 @@ from repro.memory.coalescer import coalesce_word_addresses
 from repro.memory.dram import DRAMStats
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.image import MemoryImage
+from repro.obs.metrics import Metrics, record_shared_run_metrics
 from repro.resilience.faults import FaultInjector
 from repro.resilience.watchdog import (
     DiagnosticSnapshot,
@@ -86,8 +88,15 @@ class SMStats:
 
 
 @dataclass
-class FermiRunResult:
-    """Result of one kernel launch on the Fermi baseline."""
+class FermiRunResult(EngineRunResult):
+    """Result of one kernel launch on the Fermi baseline.
+
+    Shares the :class:`~repro.engine.EngineRunResult` contract with the
+    VGIW and SGMF results (``trace``/``metrics`` attachments included);
+    every historical field keeps its name and position.
+    """
+
+    engine = "fermi"
 
     kernel_name: str
     n_threads: int
@@ -143,8 +152,20 @@ class FermiSM:
         n_threads: int,
         watchdog: Optional[WatchdogConfig] = None,
         faults: Optional[FaultInjector] = None,
+        tracer=None,
+        metrics: Optional[Metrics] = None,
     ) -> FermiRunResult:
+        """Execute ``n_threads`` of ``kernel`` against ``memory``.
+
+        ``tracer`` records SIMT-stack timeline events (warp launches /
+        retirements, IPDOM divergences) plus cache-miss and DRAM
+        row-activation events from the memory hierarchy; ``metrics``
+        receives the run's counters under the ``fermi/`` scope.  Both
+        attach to the returned result.
+        """
         config = self.config
+        # Disabled-mode fast path: one local None-test per hook site.
+        trace = tracer if (tracer is not None and tracer.enabled) else None
         params = {
             name: (
                 float(params[name])
@@ -154,7 +175,8 @@ class FermiSM:
             for name in kernel.params
         }
         memsys = MemorySystem(
-            config.memory, l1_write_back=config.l1_write_back, faults=faults
+            config.memory, l1_write_back=config.l1_write_back, faults=faults,
+            tracer=trace,
         )
         ipdom = immediate_post_dominators(kernel)
         stats = SMStats()
@@ -191,6 +213,9 @@ class FermiSM:
         counter = itertools.count()
         for wid in range(min(max_resident, n_warps)):
             heapq.heappush(heap, (0.0, next(counter), make_ctx(wid)))
+            if trace is not None:
+                trace.instant("warp.launch", "fermi.simt", 0.0,
+                              pid="fermi", warp=wid)
 
         issue_free = 0.0
         self._ldst_free = 0.0
@@ -219,6 +244,13 @@ class FermiSM:
                 detail["current_block"] = ctx.block
                 detail["current_instr_idx"] = ctx.idx
                 oldest = max(0.0, now - ctx.ready)
+            if trace is not None:
+                # Hang forensics: the last N timeline events show what
+                # the machine did just before it stopped.
+                detail["recent_trace"] = [
+                    ev.brief() for ev in trace.tail(16)
+                ]
+                trace.instant("snapshot", "watchdog", now, pid="fermi")
             return DiagnosticSnapshot(
                 sim="fermi",
                 kernel=kernel.name,
@@ -281,21 +313,54 @@ class FermiSM:
             targets = ctx.warp.exec_terminator(term, mask)
             before = ctx.stack.divergences
             ctx.stack.advance(ctx.block, targets)
-            stats.divergences += ctx.stack.divergences - before
+            diverged = ctx.stack.divergences - before
+            stats.divergences += diverged
+            if diverged and trace is not None:
+                trace.instant(
+                    "divergence", "fermi.simt", issue, pid="fermi",
+                    warp=ctx.warp.warp_id, block=ctx.block,
+                    stack_depth=len(ctx.stack.stack),
+                )
             next_block = ctx.stack.peek_block()
             if next_block is None:
                 # Warp finished; a pending warp takes its slot.
                 wd.progress(issue + 1.0)
+                if trace is not None:
+                    trace.instant(
+                        "warp.retire", "fermi.simt", issue + 1.0,
+                        pid="fermi", warp=ctx.warp.warp_id,
+                    )
                 nxt = next(pending, None)
                 if nxt is not None:
                     heapq.heappush(
                         heap, (issue + 1.0, next(counter), make_ctx(nxt))
                     )
+                    if trace is not None:
+                        trace.instant("warp.launch", "fermi.simt",
+                                      issue + 1.0, pid="fermi", warp=nxt)
                 continue
             ctx.block = next_block
             ctx.idx = 0
             ctx.ready = issue + 1.0
             heapq.heappush(heap, (ctx.ready, next(counter), ctx))
+
+        if metrics is not None:
+            scope = metrics.scope("fermi")
+            record_shared_run_metrics(
+                scope, cycles=horizon, n_threads=n_threads,
+                l1=memsys.l1_stats, l2=memsys.l2_stats,
+                dram=memsys.dram.stats,
+            )
+            scope.inc("sm.instructions_issued", stats.instructions_issued)
+            scope.inc("sm.branch_instructions", stats.branch_instructions)
+            scope.inc("sm.mem_instructions", stats.mem_instructions)
+            scope.inc("sm.mem_transactions", stats.mem_transactions)
+            scope.inc("sm.rf_reads", stats.rf_reads)
+            scope.inc("sm.rf_writes", stats.rf_writes)
+            scope.inc("simt.divergences", stats.divergences)
+            scope.inc("simt.warps_launched", stats.warps_launched)
+            scope.inc("simt.wasted_lane_slots", stats.wasted_lane_slots)
+            scope.gauge("simt.simd_efficiency", stats.simd_efficiency)
 
         return FermiRunResult(
             kernel_name=kernel.name,
@@ -305,7 +370,7 @@ class FermiSM:
             l1=memsys.l1_stats,
             l2=memsys.l2_stats,
             dram=memsys.dram.stats,
-        )
+        ).attach_obs(tracer, metrics)
 
     # ------------------------------------------------------------------
     def _operand_ready(self, ctx: _WarpCtx, instr: Instr, t: float) -> float:

@@ -21,11 +21,13 @@ from typing import Dict, List, Optional, Union
 
 from repro.arch.config import VGIWConfig
 from repro.compiler.pipeline import CompiledKernel, compile_kernel
+from repro.engine import EngineRunResult
 from repro.ir.kernel import Kernel
 from repro.memory.cache import CacheStats
 from repro.memory.dram import DRAMStats
 from repro.memory.hierarchy import LiveValueCache, MemorySystem
 from repro.memory.image import MemoryImage
+from repro.obs.metrics import Metrics, record_shared_run_metrics
 from repro.resilience.errors import SimulationHangError
 from repro.resilience.faults import FaultInjector
 from repro.resilience.watchdog import ForwardProgressWatchdog, WatchdogConfig
@@ -58,8 +60,17 @@ class BlockExecution:
 
 
 @dataclass
-class VGIWRunResult:
-    """Everything measured during one kernel launch on a VGIW core."""
+class VGIWRunResult(EngineRunResult):
+    """Everything measured during one kernel launch on a VGIW core.
+
+    Shares the :class:`~repro.engine.EngineRunResult` contract
+    (``kernel_name``/``n_threads``/``cycles``/``l1``/``l2``/``dram``
+    plus the ``trace``/``metrics`` observability attachments) with the
+    Fermi and SGMF results; every historical field keeps its name and
+    position.
+    """
+
+    engine = "vgiw"
 
     kernel_name: str
     n_threads: int
@@ -123,6 +134,8 @@ class VGIWCore:
         profile: bool = False,
         watchdog: Optional[WatchdogConfig] = None,
         faults: Optional[FaultInjector] = None,
+        tracer=None,
+        metrics: Optional[Metrics] = None,
     ) -> VGIWRunResult:
         """Execute ``n_threads`` of ``kernel`` against ``memory``.
 
@@ -130,9 +143,16 @@ class VGIWCore:
         cycle-budget detection, raising
         :class:`~repro.resilience.errors.SimulationHangError` with a
         diagnostic snapshot); ``faults`` threads a deterministic fault
-        injector through the fabric and the memory hierarchy.
+        injector through the fabric and the memory hierarchy;
+        ``tracer`` (a :class:`repro.obs.Tracer`) records BBS
+        reconfiguration windows, block-vector executions, cache misses
+        and DRAM row activations as timeline events; ``metrics`` (a
+        :class:`repro.obs.Metrics`) receives the run's counters under
+        the ``vgiw/`` scope.  Both attach to the returned result.
         """
         config = self.config
+        # Disabled-mode fast path: one local None-test per hook site.
+        trace = tracer if (tracer is not None and tracer.enabled) else None
         compiled = (
             kernel
             if isinstance(kernel, CompiledKernel)
@@ -149,7 +169,8 @@ class VGIWCore:
         }
 
         memsys = MemorySystem(
-            config.memory, l1_write_back=config.l1_write_back, faults=faults
+            config.memory, l1_write_back=config.l1_write_back, faults=faults,
+            tracer=trace,
         )
         lvc = LiveValueCache(
             size_bytes=config.lvc_size_bytes,
@@ -158,6 +179,7 @@ class VGIWCore:
             banks=config.lvc_banks,
             hit_latency=config.lvc_hit_latency,
             l2=memsys.l2,
+            tracer=trace,
         )
         executor = MTCGRFExecutor(
             config, memsys, lvc, memory, params,
@@ -211,6 +233,16 @@ class VGIWCore:
                     for bid in range(n_blocks)
                     if cvt.pending_count(bid)
                 }
+                if trace is not None:
+                    # Hang forensics: the last N timeline events show
+                    # what the machine did just before it stopped.
+                    snap.detail["recent_trace"] = [
+                        ev.brief() for ev in trace.tail(16)
+                    ]
+                    trace.instant(
+                        "snapshot", "watchdog", now, pid="vgiw",
+                        tile=tiles,
+                    )
                 return snap
 
             executions = 0
@@ -234,6 +266,12 @@ class VGIWCore:
                 if configured_block != block_id:
                     bbs.reconfigurations += 1
                     bbs.config_cycles += config.fabric.config_cycles
+                    if trace is not None:
+                        trace.complete(
+                            f"reconfigure:{cb.name}", "vgiw.bbs", time,
+                            config.fabric.config_cycles, pid="vgiw",
+                            block=cb.name, tile=tiles,
+                        )
                     time += config.fabric.config_cycles
                     configured_block = block_id
 
@@ -249,6 +287,14 @@ class VGIWCore:
 
                 outcomes, end_time = executor.execute_block(cb, tids, time)
                 retired = sum(1 for oc in outcomes if oc.next_block is None)
+                if trace is not None:
+                    trace.complete(
+                        f"block:{cb.name}", "vgiw.block", time,
+                        end_time - time, pid="vgiw",
+                        block=cb.name, threads=len(tids),
+                        replicas=cb.n_replicas, retired=retired,
+                        tile=tiles,
+                    )
                 if retired:
                     wd.progress(end_time, retired)
                 wd.check(end_time, snapshot)
@@ -280,6 +326,28 @@ class VGIWCore:
             cvt_stats_total.word_reads += cvt.stats.word_reads
             cvt_stats_total.word_writes += cvt.stats.word_writes
 
+        if metrics is not None:
+            scope = metrics.scope("vgiw")
+            record_shared_run_metrics(
+                scope, cycles=time, n_threads=n_threads,
+                l1=memsys.l1_stats, l2=memsys.l2_stats,
+                dram=memsys.dram.stats,
+            )
+            scope.inc("bbs.reconfigurations", bbs.reconfigurations)
+            scope.inc("bbs.config_cycles", bbs.config_cycles)
+            scope.inc("bbs.blocks_executed", bbs.blocks_executed)
+            scope.inc("bbs.threads_streamed", bbs.threads_streamed)
+            scope.inc("bbs.batches_sent", bbs.batches_sent)
+            scope.inc("bbs.batches_received", bbs.batches_received)
+            scope.inc("cvt.word_reads", cvt_stats_total.word_reads)
+            scope.inc("cvt.word_writes", cvt_stats_total.word_writes)
+            scope.inc("lvc.word_requests", lvc.accesses)
+            scope.inc("lvc.bank_accesses", lvc.bank_accesses)
+            scope.inc("lvc.buffered", lvc.buffered)
+            scope.inc("fabric.node_fires", executor.stats.node_fires)
+            scope.inc("fabric.token_hops", executor.stats.token_hops)
+            scope.gauge("run.tiles", tiles)
+
         return VGIWRunResult(
             kernel_name=kernel_obj.name,
             n_threads=n_threads,
@@ -299,4 +367,4 @@ class VGIWCore:
             n_live_values=compiled.n_live_values,
             tiles=tiles,
             block_profile=profile_records,
-        )
+        ).attach_obs(tracer, metrics)
