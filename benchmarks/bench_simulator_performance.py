@@ -1,10 +1,27 @@
-"""Library performance: simulator throughput on the Figure 1a kernel.
+"""Simulator performance: micro throughput + the committed sweep baseline.
 
-Not a paper experiment — this measures the Python simulators themselves
-(node-fires per second for the dataflow cores, warp-instructions per
-second for the SIMT core) so regressions in the simulation engines are
-caught.
+Two layers (``docs/performance.md`` is the narrative):
+
+* **Micro benches** — simulator throughput on the Figure 1a kernel
+  (node-fires / warp-instructions per second), catching engine-level
+  regressions in isolation.
+* **The committed baseline** — ``BENCH_simulator_performance.json`` at
+  the repo root records the Table 2 ``small`` sweep's wall-clock
+  trajectory (serial and ``--jobs 4``) per measured revision.
+  ``bench_committed_baseline`` gates the recorded numbers (≥ 1.3×
+  serial, ≥ 3× at ``jobs=4`` over the first entry);
+  ``bench_golden_cycles_byte_identical`` re-checks the suite's cycle
+  counts against ``benchmarks/golden_cycles_small.json`` so a speedup
+  can never silently change a reported number.
+
+Re-measure and print a fresh trajectory record with::
+
+    PYTHONPATH=src python benchmarks/bench_simulator_performance.py \
+        --remeasure --jobs 4
 """
+
+import json
+import os
 
 from repro.kernels import make_fig1_workload
 from repro.sgmf import SGMFCore
@@ -13,7 +30,20 @@ from repro.vgiw import VGIWCore
 
 N_THREADS = 512
 
+_HERE = os.path.dirname(os.path.abspath(__file__))
+GOLDEN_PATH = os.path.join(_HERE, "golden_cycles_small.json")
+BASELINE_PATH = os.path.join(
+    os.path.dirname(_HERE), "BENCH_simulator_performance.json"
+)
 
+#: Acceptance floors for the latest trajectory entry vs. the baseline.
+MIN_SERIAL_SPEEDUP = 1.3
+MIN_JOBS4_SPEEDUP = 3.0
+
+
+# ----------------------------------------------------------------------
+# Micro benches: engine throughput on the Figure 1a kernel
+# ----------------------------------------------------------------------
 def bench_vgiw_simulator(benchmark):
     def run():
         kernel, mem, params = make_fig1_workload(n_threads=N_THREADS)
@@ -39,3 +69,121 @@ def bench_sgmf_simulator(benchmark):
 
     result = benchmark(run)
     assert result.n_threads == N_THREADS
+
+
+# ----------------------------------------------------------------------
+# The committed sweep baseline
+# ----------------------------------------------------------------------
+def load_trajectory():
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def check_golden(runs) -> int:
+    """Compare a ``small``-scale SuiteResult against the golden cycle
+    file; returns the number of (kernel, engine) pairs checked."""
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    checked = 0
+    mismatches = []
+    for name, engines in golden.items():
+        run = runs.get(name)
+        assert run is not None, f"golden kernel {name} missing from sweep"
+        for eng, want in engines.items():
+            got = getattr(run, eng, None)
+            got_cycles = None if got is None else got.cycles
+            checked += 1
+            if got_cycles != want:
+                mismatches.append((name, eng, got_cycles, want))
+    assert not mismatches, (
+        "cycle counts diverged from benchmarks/golden_cycles_small.json "
+        f"(host-side optimisations must be cycle-identical): {mismatches}"
+    )
+    return checked
+
+
+def bench_committed_baseline():
+    """The recorded trajectory meets the PR's acceptance floors."""
+    doc = load_trajectory()
+    traj = doc["trajectory"]
+    assert len(traj) >= 2, "need a baseline entry and at least one follow-up"
+    base, latest = traj[0], traj[-1]
+    serial_speedup = base["serial_s"] / latest["serial_s"]
+    jobs4_speedup = base["serial_s"] / latest["jobs4_s"]
+    assert serial_speedup >= MIN_SERIAL_SPEEDUP, (
+        f"serial speedup {serial_speedup:.2f}x below "
+        f"{MIN_SERIAL_SPEEDUP}x floor"
+    )
+    assert jobs4_speedup >= MIN_JOBS4_SPEEDUP, (
+        f"--jobs 4 speedup {jobs4_speedup:.2f}x below "
+        f"{MIN_JOBS4_SPEEDUP}x floor"
+    )
+    assert latest["golden"] == "byte-identical"
+    # The recorded ratios stay consistent with the raw seconds.
+    assert abs(latest["speedup_serial"] - serial_speedup) < 0.1
+    assert abs(latest["speedup_jobs4"] - jobs4_speedup) < 0.1
+
+
+def bench_golden_cycles_byte_identical(suite_runs, scale):
+    """The current sweep reproduces the golden cycles bit-for-bit.
+
+    Uses the session-wide suite fixture (no extra sweep).  Only
+    meaningful at the ``small`` scale the golden file was recorded at.
+    """
+    if scale != "small":
+        import pytest
+
+        pytest.skip("golden cycle file is recorded at --scale small")
+    checked = check_golden(suite_runs)
+    assert checked >= 60  # 21 kernels x 3 engines (unmappable SGMF = None)
+
+
+# ----------------------------------------------------------------------
+# --remeasure: time the sweep and print a fresh trajectory record
+# ----------------------------------------------------------------------
+def _remeasure(jobs: int) -> dict:
+    import multiprocessing
+    import platform
+    import time
+
+    from repro.evalharness.runner import run_suite
+
+    t0 = time.time()
+    runs = run_suite(None, scale="small")
+    serial_s = time.time() - t0
+    check_golden(runs)
+
+    t0 = time.time()
+    run_suite(None, scale="small", jobs=jobs)
+    jobsn_s = time.time() - t0
+
+    doc = load_trajectory()
+    base = doc["trajectory"][0]
+    return {
+        "label": "remeasure",
+        "date": time.strftime("%Y-%m-%d"),
+        "host": (f"{multiprocessing.cpu_count()} cores, "
+                 f"python {platform.python_version()}"),
+        "serial_s": round(serial_s, 2),
+        "jobs4_s": round(jobsn_s, 2),
+        "speedup_serial": round(base["serial_s"] / serial_s, 2),
+        "speedup_jobs4": round(base["serial_s"] / jobsn_s, 2),
+        "golden": "byte-identical",
+    }
+
+
+if __name__ == "__main__":
+    import argparse
+
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--remeasure", action="store_true",
+                    help="time the small sweep (serial + --jobs) and "
+                         "print a trajectory record to append to "
+                         "BENCH_simulator_performance.json")
+    ap.add_argument("--jobs", type=int, default=4)
+    opts = ap.parse_args()
+    if opts.remeasure:
+        print(json.dumps(_remeasure(opts.jobs), indent=2))
+    else:
+        ap.error("nothing to do (did you mean --remeasure, or "
+                 "`pytest benchmarks/bench_simulator_performance.py`?)")

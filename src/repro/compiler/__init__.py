@@ -1,5 +1,13 @@
 """VGIW compiler: analyses, dataflow-graph extraction, place & route."""
 
+from repro.compiler.cache import (
+    CACHE_VERSION,
+    CompileCache,
+    cached_compile_kernel,
+    cached_map_kernel,
+    cached_optimize_kernel,
+    kernel_fingerprint,
+)
 from repro.compiler.cfganalysis import (
     Loop,
     immediate_dominators,
@@ -51,7 +59,13 @@ from repro.compiler.schedule import BlockSchedule, schedule_blocks
 __all__ = [
     "BlockDFG",
     "BlockSchedule",
+    "CACHE_VERSION",
     "CapacityError",
+    "CompileCache",
+    "cached_compile_kernel",
+    "cached_map_kernel",
+    "cached_optimize_kernel",
+    "kernel_fingerprint",
     "CompiledBlock",
     "CompiledKernel",
     "DFGBuildError",

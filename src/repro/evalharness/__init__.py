@@ -20,6 +20,7 @@ from repro.evalharness.runner import (
     VerificationError,
     run_kernel,
     run_suite,
+    trace_file_for,
 )
 from repro.evalharness.serialize import run_to_dict, runs_to_dict, runs_to_json
 from repro.evalharness.tables import ExperimentTable, arithmean, geomean
@@ -48,4 +49,5 @@ __all__ = [
     "sec32_reconfiguration_overhead",
     "table1_configuration",
     "table2_benchmarks",
+    "trace_file_for",
 ]

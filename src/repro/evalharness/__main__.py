@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.evalharness [--scale tiny|small|medium]
                                 [--kernels name,name,...]
+                                [--jobs N] [--cache-dir DIR]
                                 [--out FILE] [--json FILE]
                                 [--trace FILE] [--metrics]
                                 [--inject kernel=kind[:seed[:rate]]]...
@@ -16,24 +17,33 @@ kernel shows up as a degraded row while the rest of the sweep completes
 normally.  ``--max-cycles``/``--stall-cycles`` arm the forward-progress
 watchdog in every simulator.  See ``docs/resilience.md``.
 
-``--trace FILE`` threads one shared :class:`repro.obs.Tracer` through
-every kernel on every machine and writes a Chrome-trace JSON to FILE
-(open it in Perfetto / ``chrome://tracing``).  ``--metrics`` records
-the cross-engine metric registry and appends its column group to the
+``--jobs N`` fans the kernels out to ``N`` worker processes; the report
+is byte-identical to a serial sweep (results are reassembled in input
+order).  ``--cache-dir DIR`` adds a persistent compile-cache tier so
+repeat sweeps skip place & route entirely.  See ``docs/performance.md``.
+
+``--trace FILE`` records a per-kernel cycle-level timeline and writes
+one Chrome-trace JSON per kernel — ``FILE`` is the base name, each
+kernel gets ``FILE`` with ``.<kernel>`` inserted before the extension
+(slashes in kernel names become underscores; e.g. ``--trace trace.json``
+with kernel ``nn/nearest`` writes ``trace.nn_nearest.json``).  Open the
+files in Perfetto / ``chrome://tracing``.  ``--metrics`` records the
+cross-engine metric registry and appends its column group to the
 report.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.evalharness.report import generate_report
-from repro.evalharness.runner import run_suite
+from repro.evalharness.runner import run_suite, trace_file_for
 from repro.evalharness.serialize import runs_to_json
 from repro.kernels.registry import all_names
-from repro.obs import Metrics, Tracer
+from repro.obs import Metrics
 from repro.resilience import FAULT_KINDS, FaultSpec, WatchdogConfig
 
 
@@ -62,9 +72,18 @@ def main(argv=None) -> int:
                         help="write the markdown report to this file")
     parser.add_argument("--json", default=None,
                         help="also archive raw results as JSON")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run kernels in N worker processes "
+                             "(default 1 = serial); reports are "
+                             "byte-identical to a serial sweep")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent compile-cache directory (repeat "
+                             "sweeps skip place & route; safe under "
+                             "--jobs)")
     parser.add_argument("--trace", default=None, metavar="FILE",
-                        help="record a cycle-level timeline of the sweep "
-                             "and write Chrome-trace JSON to FILE "
+                        help="record a cycle-level timeline and write one "
+                             "Chrome-trace JSON per kernel: FILE with "
+                             ".<kernel> inserted before the extension "
                              "(Perfetto / chrome://tracing)")
     parser.add_argument("--metrics", action="store_true",
                         help="record the cross-engine metric registry and "
@@ -105,20 +124,24 @@ def main(argv=None) -> int:
         # (mem_drop) are caught instead of inflating the sweep runtime.
         watchdog = WatchdogConfig(max_cycles=5e6)
 
-    tracer = Tracer() if args.trace else None
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
     metrics = Metrics() if args.metrics else None
 
     t0 = time.time()
     runs = run_suite(names, scale=args.scale, isolate=not args.no_isolate,
                      watchdog=watchdog, inject=inject,
-                     tracer=tracer, metrics=metrics)
+                     metrics=metrics, jobs=args.jobs,
+                     cache_dir=args.cache_dir, trace_path=args.trace)
     report = generate_report(runs, scale=args.scale, metrics=metrics)
     elapsed = time.time() - t0
 
-    if tracer is not None:
-        tracer.dump(args.trace)
-        print(f"wrote {args.trace} ({len(tracer)} events, "
-              f"{tracer.dropped} dropped)", file=sys.stderr)
+    if args.trace:
+        for name in list(runs) + sorted(getattr(runs, "failures", {})):
+            path = trace_file_for(args.trace, name)
+            if os.path.exists(path):
+                print(f"wrote {path}", file=sys.stderr)
 
     if args.json:
         with open(args.json, "w") as fh:

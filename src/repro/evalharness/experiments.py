@@ -308,6 +308,15 @@ def metrics_table(metrics: Metrics) -> ExperimentTable:
         f"({extras} more names) ride in the JSON/`Metrics.format()` dump "
         "(docs/observability.md)"
     )
+    if "compile" in metrics.scope_names():
+        hits = metrics.value("compile/cache.hits")
+        misses = metrics.value("compile/cache.misses")
+        disk = metrics.value("compile/cache.disk_hits")
+        t.notes.append(
+            f"compile cache: {hits} hits / {misses} misses "
+            f"({disk} from the --cache-dir disk tier; "
+            "docs/performance.md)"
+        )
     return t
 
 

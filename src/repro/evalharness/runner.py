@@ -24,14 +24,16 @@ snapshot.  ``docs/resilience.md`` documents the semantics.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Mapping
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
 from repro.arch.config import FermiConfig, SGMFConfig, VGIWConfig
-from repro.compiler.optimize import optimize_kernel
+from repro.compiler.cache import CompileCache, cached_optimize_kernel
 from repro.interp import interpret
 from repro.kernels.base import Workload
 from repro.kernels.registry import all_names, make_workload
@@ -62,6 +64,7 @@ __all__ = [
     "VerificationError",
     "run_kernel",
     "run_suite",
+    "trace_file_for",
 ]
 
 
@@ -119,6 +122,7 @@ def run_kernel(
     faults: Optional[FaultInjector] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    cache: Optional[CompileCache] = None,
 ) -> KernelRun:
     """Run one registry workload on all three machines.
 
@@ -127,16 +131,23 @@ def run_kernel(
     ``tracer`` / ``metrics`` (see :mod:`repro.obs`) are shared by the
     three machines — engines write to distinct trace ``pid`` lanes and
     metric scopes, so one export carries the whole cross-machine
-    comparison.  Everything defaults to off, so the measurement path is
-    unchanged.
+    comparison.  ``cache`` (a
+    :class:`repro.compiler.CompileCache`) memoises the per-kernel pure
+    computations — the optimisation pipeline, VGIW place & route, the
+    SGMF whole-kernel mapping, the Fermi CFG analyses — across runs
+    (``run_suite`` threads one through the whole sweep).  Everything
+    defaults to off, so the measurement path is unchanged.
     """
     workload = make_workload(name, scale)
     if optimize:
-        kernel = optimize_kernel(workload.kernel, params=workload.params)
+        kernel = cached_optimize_kernel(
+            workload.kernel, params=workload.params, cache=cache
+        )
         # SGMF's compiler must conserve fabric capacity, so it keeps
         # loops rolled; Fermi and VGIW get the fully optimised kernel.
-        sgmf_kernel = optimize_kernel(
-            workload.kernel, params=workload.params, unroll=False
+        sgmf_kernel = cached_optimize_kernel(
+            workload.kernel, params=workload.params, unroll=False,
+            cache=cache,
         )
     else:
         kernel = sgmf_kernel = workload.kernel
@@ -159,6 +170,7 @@ def run_kernel(
     fermi = FermiSM(fermi_config).run(
         kernel, mem_f, workload.params, workload.n_threads,
         watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
+        compile_cache=cache,
     )
     check(mem_f, "Fermi")
 
@@ -166,6 +178,7 @@ def run_kernel(
     vgiw = VGIWCore(vgiw_config).run(
         kernel, mem_v, workload.params, workload.n_threads, profile=True,
         watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
+        compile_cache=cache,
     )
     check(mem_v, "VGIW")
 
@@ -176,6 +189,7 @@ def run_kernel(
         sgmf = SGMFCore(sgmf_config).run(
             sgmf_kernel, mem_s, workload.params, workload.n_threads,
             watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
+            compile_cache=cache,
         )
         check(mem_s, "SGMF")
         sgmf_bd = energy_sgmf(sgmf)
@@ -243,6 +257,92 @@ class SuiteResult(Mapping):
         return {name: f.failure_log for name, f in self.failures.items()}
 
 
+def _run_one(
+    name: str,
+    scale: str,
+    verify: bool,
+    isolate: bool,
+    watchdog: Optional[WatchdogConfig],
+    retry: RetryPolicy,
+    spec: Optional[FaultSpec],
+    tracer: Optional[Tracer],
+    metrics: Optional[Metrics],
+    cache: Optional[CompileCache],
+):
+    """One kernel of a sweep, with PR 1's retry/degraded-row machinery.
+
+    Returns ``(run, None)`` on success or ``(None, failure)`` when the
+    kernel exhausted its retries.  With ``isolate=False`` the first
+    failure propagates (the historical behaviour).  Shared verbatim by
+    the serial loop and the ``--jobs`` worker so the two paths cannot
+    drift.
+    """
+    if not isolate:
+        injector = FaultInjector(spec) if spec is not None else None
+        run = run_kernel(
+            name, scale, verify=verify, watchdog=watchdog,
+            faults=injector, tracer=tracer, metrics=metrics, cache=cache,
+        )
+        return run, None
+
+    attempts: List[AttemptRecord] = []
+    for attempt in range(max(1, retry.max_attempts)):
+        injector = (
+            FaultInjector(spec.reseeded(retry.seed_delta(attempt)))
+            if spec is not None else None
+        )
+        wd = retry.budget_for(watchdog, attempt)
+        try:
+            run = run_kernel(
+                name, scale, verify=verify, watchdog=wd,
+                faults=injector, tracer=tracer, metrics=metrics,
+                cache=cache,
+            )
+            return run, None
+        except ReproError as exc:
+            attempts.append(
+                AttemptRecord.from_error(attempt, exc, injector, wd))
+        except Exception as exc:  # noqa: BLE001 — isolation boundary
+            # Anything non-ReproError is a harness bug, but the sweep
+            # must still finish; record it as a degraded row too.
+            attempts.append(
+                AttemptRecord.from_error(attempt, exc, injector, wd))
+    return None, KernelFailure.from_attempts(name, attempts)
+
+
+def _suite_worker(payload):
+    """Process-pool worker: one kernel, fully isolated.
+
+    Module top-level (picklable under every start method).  The worker
+    builds its *own* tracer / metrics registry / compile cache — no
+    state is shared with the parent — and ships them back with the
+    result; the parent merges them in deterministic kernel order.  A
+    ``cache_dir`` gives the workers a shared persistent tier (the disk
+    writes are atomic, so concurrent workers are safe).
+    """
+    (name, scale, verify, isolate, watchdog, retry, spec,
+     want_trace, want_metrics, cache_dir) = payload
+    tracer = Tracer() if want_trace else None
+    metrics = Metrics() if want_metrics else None
+    cache = CompileCache(cache_dir)
+    run, failure = _run_one(
+        name, scale, verify, isolate, watchdog, retry, spec,
+        tracer, metrics, cache,
+    )
+    return name, run, failure, tracer, metrics, cache.stats()
+
+
+def trace_file_for(base: str, kernel_name: str) -> str:
+    """Per-kernel trace path: ``report.json`` + ``nn/nearest`` →
+    ``report.nn_nearest.json`` (slashes sanitised; documented in
+    ``docs/observability.md``)."""
+    safe = kernel_name.replace("/", "_")
+    root, ext = os.path.splitext(base)
+    if not ext:
+        ext = ".json"
+    return f"{root}.{safe}{ext}"
+
+
 def run_suite(
     names: Optional[Iterable[str]] = None,
     scale: str = "small",
@@ -253,6 +353,10 @@ def run_suite(
     inject: Optional[Dict[str, FaultSpec]] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    jobs: int = 1,
+    cache: Optional[CompileCache] = None,
+    cache_dir: Optional[str] = None,
+    trace_path: Optional[str] = None,
 ) -> SuiteResult:
     """Run the whole Table 2 suite (the data behind every figure).
 
@@ -275,45 +379,91 @@ def run_suite(
     tracer / metrics:
         Optional shared :class:`repro.obs.Tracer` /
         :class:`repro.obs.Metrics` threaded through every kernel on
-        every machine (``--trace`` / ``--metrics`` on the CLI).
+        every machine (``--trace`` / ``--metrics`` on the CLI).  Under
+        ``jobs > 1`` each worker records into its own registry and the
+        parent merges them back in kernel order, so the aggregate is
+        independent of completion order.
+    jobs:
+        Process-pool width (``--jobs`` on the CLI).  ``1`` (default)
+        runs serially in-process.  ``N > 1`` fans the kernels out to
+        ``N`` worker processes; results are reassembled in the input
+        name order, so reports are byte-identical to a serial sweep.
+        Fault isolation still applies per kernel inside each worker —
+        a degraded kernel in one worker never disturbs the others.
+    cache / cache_dir:
+        Compile memoisation (see :mod:`repro.compiler.cache`).  By
+        default a fresh in-memory :class:`CompileCache` is created for
+        the sweep; pass ``cache=`` to reuse one across sweeps or
+        ``cache_dir=`` to add the persistent on-disk tier (shared by
+        ``--jobs`` workers).  Hit/miss counters land in ``metrics``
+        under the ``compile/`` scope.
+    trace_path:
+        Base path for per-kernel Chrome-trace files.  Each kernel gets
+        its own tracer and its own file (``trace_file_for``:
+        ``OUT.<kernel>.json``) so a multi-kernel sweep no longer
+        overwrites one file per kernel.
     """
     names = list(names) if names is not None else all_names()
     retry = retry or RetryPolicy()
     inject = inject or {}
+    if cache is None:
+        cache = CompileCache(cache_dir)
 
     runs: Dict[str, KernelRun] = {}
     failures: Dict[str, KernelFailure] = {}
-    for name in names:
-        spec = inject.get(name)
-        if not isolate:
-            injector = FaultInjector(spec) if spec is not None else None
-            runs[name] = run_kernel(
-                name, scale, verify=verify, watchdog=watchdog,
-                faults=injector, tracer=tracer, metrics=metrics,
-            )
-            continue
 
-        attempts: List[AttemptRecord] = []
-        for attempt in range(max(1, retry.max_attempts)):
-            injector = (
-                FaultInjector(spec.reseeded(retry.seed_delta(attempt)))
-                if spec is not None else None
+    if jobs > 1:
+        want_trace = trace_path is not None or tracer is not None
+        want_metrics = metrics is not None
+        payloads = [
+            (name, scale, verify, isolate, watchdog, retry,
+             inject.get(name), want_trace, want_metrics, cache_dir)
+            for name in names
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_suite_worker, payload) for payload in payloads
+            ]
+            # Collect in *input* order (not completion order): the
+            # merged metrics/trace streams and the report row order are
+            # then identical to a serial sweep.
+            for name, future in zip(names, futures):
+                try:
+                    (_, run, failure, wtracer, wmetrics,
+                     wstats) = future.result()
+                except Exception as exc:  # noqa: BLE001 — worker crashed
+                    if not isolate:
+                        raise
+                    failures[name] = KernelFailure.from_attempts(
+                        name, [AttemptRecord.from_error(0, exc)])
+                    continue
+                if failure is not None:
+                    failures[name] = failure
+                else:
+                    runs[name] = run
+                if wmetrics is not None and metrics is not None:
+                    metrics.merge(wmetrics)
+                if wtracer is not None:
+                    if trace_path is not None:
+                        wtracer.dump(trace_file_for(trace_path, name))
+                    if tracer is not None:
+                        tracer.merge(wtracer)
+                cache.merge_stats(wstats)
+    else:
+        for name in names:
+            ktracer = Tracer() if trace_path is not None else tracer
+            run, failure = _run_one(
+                name, scale, verify, isolate, watchdog, retry,
+                inject.get(name), ktracer, metrics, cache,
             )
-            wd = retry.budget_for(watchdog, attempt)
-            try:
-                runs[name] = run_kernel(
-                    name, scale, verify=verify, watchdog=wd,
-                    faults=injector, tracer=tracer, metrics=metrics,
-                )
-                break
-            except ReproError as exc:
-                attempts.append(
-                    AttemptRecord.from_error(attempt, exc, injector, wd))
-            except Exception as exc:  # noqa: BLE001 — isolation boundary
-                # Anything non-ReproError is a harness bug, but the sweep
-                # must still finish; record it as a degraded row too.
-                attempts.append(
-                    AttemptRecord.from_error(attempt, exc, injector, wd))
-        else:
-            failures[name] = KernelFailure.from_attempts(name, attempts)
+            if failure is not None:
+                failures[name] = failure
+            else:
+                runs[name] = run
+            if trace_path is not None and ktracer is not None:
+                ktracer.dump(trace_file_for(trace_path, name))
+                if tracer is not None:
+                    tracer.merge(ktracer)
+
+    cache.record_metrics(metrics)
     return SuiteResult(runs, failures)

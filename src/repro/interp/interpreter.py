@@ -99,6 +99,63 @@ class Interpreter:
             for name in kernel.params
         }
         self.max_block_visits = max_block_visits
+        # Precompile each block into flat rows so the per-thread walk
+        # never re-dispatches on operand kinds (immediates and launch
+        # parameters fold into constants — parameters are fixed at
+        # construction).  Purely a host-side speedup; semantics are
+        # identical to the instruction-at-a-time path.
+        self._plan = {
+            name: self._compile_block(block)
+            for name, block in kernel.blocks.items()
+        }
+
+    def _compile_block(self, block):
+        """Flatten one basic block into interpreter rows.
+
+        Row layouts (sources are ``(mode, payload)`` pairs: 0 = const
+        value, 1 = register name, 2 = thread id; ``dt`` is 1 = int,
+        2 = float, 0 = bool)::
+
+            (0, asrc, dst, dt)        LOAD
+            (1, asrc, vsrc)           STORE
+            (2, fn, srcs, dst, dt)    everything else
+
+        Returns ``(rows, n_instrs, n_loads, n_stores, tcode, cond,
+        true_target, false_target)`` with ``tcode`` 0 = RET, 1 = JMP,
+        2 = BR.
+        """
+        params = self.params
+
+        def prep(operand):
+            if isinstance(operand, Imm):
+                return (0, operand.value)
+            if operand == TID_REG:
+                return (2, 0)
+            if is_param_reg(operand):
+                return (0, params[operand.name[len(PARAM_PREFIX):]])
+            return (1, operand.name)
+
+        rows = []
+        n_loads = n_stores = 0
+        for instr in block.instrs:
+            dt = (1 if instr.dtype is DType.INT
+                  else 2 if instr.dtype is DType.FLOAT else 0)
+            if instr.op is Op.LOAD:
+                rows.append((0, prep(instr.srcs[0]), instr.dst, dt))
+                n_loads += 1
+            elif instr.op is Op.STORE:
+                rows.append((1, prep(instr.srcs[0]), prep(instr.srcs[1])))
+                n_stores += 1
+            else:
+                rows.append((2, EVAL[instr.op],
+                             tuple(prep(s) for s in instr.srcs),
+                             instr.dst, dt))
+        term = block.terminator
+        tcode = (0 if term.kind is TermKind.RET
+                 else 1 if term.kind is TermKind.JMP else 2)
+        cond = prep(term.cond) if tcode == 2 else None
+        return (tuple(rows), len(block.instrs), n_loads, n_stores,
+                tcode, cond, term.true_target, term.false_target)
 
     # ------------------------------------------------------------------
     def _fetch(self, regs: Dict[str, Number], tid: int, operand: Operand) -> Number:
@@ -119,42 +176,71 @@ class Interpreter:
     def run_thread(self, tid: int) -> ThreadTrace:
         """Execute one thread to completion; return its trace."""
         kernel = self.kernel
-        memory = self.memory
+        plan = self._plan
+        mem_read = self.memory.read
+        mem_write = self.memory.write
         regs: Dict[str, Number] = {}
         trace = ThreadTrace(tid)
+        visited = trace.blocks
         block_name: Optional[str] = kernel.entry
         visits = 0
-        while block_name is not None:
-            visits += 1
-            if visits > self.max_block_visits:
-                raise InterpreterError(
-                    f"thread {tid} exceeded {self.max_block_visits} block visits "
-                    f"in kernel {kernel.name} (runaway loop?)"
-                )
-            block = kernel.blocks[block_name]
-            trace.blocks.append(block_name)
-            for instr in block.instrs:
-                trace.instructions += 1
-                if instr.op is Op.LOAD:
-                    addr = self._fetch(regs, tid, instr.srcs[0])
-                    regs[instr.dst] = _coerce(memory.read(int(addr)), instr.dtype)
-                    trace.loads += 1
-                elif instr.op is Op.STORE:
-                    addr = self._fetch(regs, tid, instr.srcs[0])
-                    value = self._fetch(regs, tid, instr.srcs[1])
-                    memory.write(int(addr), value)
-                    trace.stores += 1
+        max_visits = self.max_block_visits
+        n_instrs = n_loads = n_stores = 0
+        try:
+            while block_name is not None:
+                visits += 1
+                if visits > max_visits:
+                    raise InterpreterError(
+                        f"thread {tid} exceeded {max_visits} block visits "
+                        f"in kernel {kernel.name} (runaway loop?)"
+                    )
+                (rows, bi, bl, bs, tcode, cond,
+                 true_target, false_target) = plan[block_name]
+                visited.append(block_name)
+                n_instrs += bi
+                n_loads += bl
+                n_stores += bs
+                for row in rows:
+                    tag = row[0]
+                    if tag == 2:  # ALU / SFU
+                        _, fn, srcs, dst, dt = row
+                        v = fn(*[
+                            regs[p] if m == 1 else p if m == 0 else tid
+                            for m, p in srcs
+                        ])
+                        regs[dst] = (int(v) if dt == 1
+                                     else float(v) if dt == 2 else bool(v))
+                    elif tag == 0:  # LOAD
+                        _, (am, ap), dst, dt = row
+                        v = mem_read(int(
+                            regs[ap] if am == 1 else ap if am == 0 else tid
+                        ))
+                        regs[dst] = (int(v) if dt == 1
+                                     else float(v) if dt == 2 else bool(v))
+                    else:  # STORE
+                        _, (am, ap), (vm, vp) = row
+                        mem_write(
+                            int(regs[ap] if am == 1
+                                else ap if am == 0 else tid),
+                            regs[vp] if vm == 1 else vp if vm == 0 else tid,
+                        )
+                if tcode == 0:
+                    block_name = None
+                elif tcode == 1:
+                    block_name = true_target
                 else:
-                    args = [self._fetch(regs, tid, s) for s in instr.srcs]
-                    regs[instr.dst] = _coerce(EVAL[instr.op](*args), instr.dtype)
-            term = block.terminator
-            if term.kind is TermKind.RET:
-                block_name = None
-            elif term.kind is TermKind.JMP:
-                block_name = term.true_target
-            else:
-                taken = bool(self._fetch(regs, tid, term.cond))
-                block_name = term.true_target if taken else term.false_target
+                    cm, cp = cond
+                    taken = bool(regs[cp] if cm == 1
+                                 else cp if cm == 0 else tid)
+                    block_name = true_target if taken else false_target
+        except KeyError as exc:
+            raise InterpreterError(
+                f"read of undefined register %{exc.args[0]} "
+                f"in kernel {kernel.name}"
+            ) from None
+        trace.instructions = n_instrs
+        trace.loads = n_loads
+        trace.stores = n_stores
         return trace
 
     def run(self, n_threads: int) -> InterpResult:

@@ -72,6 +72,16 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one (summary
+        statistics compose exactly: counts/sums add, min/max combine)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -107,6 +117,27 @@ class Metrics:
         if hist is None:
             hist = self.histograms[name] = Histogram()
         hist.observe(value)
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry into this one.
+
+        Counters and histograms compose exactly (they are additive);
+        gauges take the *other* registry's value (last-writer-wins,
+        matching sequential ``gauge()`` calls).  ``run_suite --jobs``
+        uses this to aggregate per-worker registries in deterministic
+        kernel order, so a parallel sweep's merged registry equals the
+        serial one.
+        """
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            self.gauges[name] = value
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
 
     # -- namespaces ----------------------------------------------------
     def scope(self, prefix: str) -> "MetricsScope":

@@ -129,6 +129,20 @@ class Tracer:
         self.emit(TraceEvent(name, cat, PH_COUNTER, ts, 0.0,
                              pid, 0, dict(values)))
 
+    def merge(self, other: "Tracer") -> None:
+        """Append another tracer's events (in its emission order).
+
+        Used by ``run_suite --jobs`` to fold per-worker tracers into
+        the caller's shared tracer, kernel by kernel in deterministic
+        order.  Ring-buffer semantics still apply: if the combined
+        stream exceeds ``capacity`` the oldest events are evicted, and
+        the other tracer's ``dropped`` count carries over.
+        """
+        self.dropped += other.dropped
+        emit = self.emit
+        for ev in other._ring:
+            emit(ev)
+
     # -- access --------------------------------------------------------
     @property
     def events(self) -> List[TraceEvent]:

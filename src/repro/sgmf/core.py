@@ -17,10 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-from repro.arch.config import SGMFConfig, UnitKind, op_latency_for
-from repro.compiler.dfg import NodeKind, NodeSrc, ImmSrc, ParamSrc
+from repro.arch.config import SGMFConfig
 from repro.engine import EngineRunResult
-from repro.ir.instr import EVAL, TermKind
+from repro.ir.instr import TermKind
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType
 from repro.memory.cache import CacheStats
@@ -36,7 +35,20 @@ from repro.resilience.watchdog import (
     snapshot_from_replicas,
 )
 from repro.sgmf.mapping import SGMFMapping, SGMFUnmappableError, map_kernel
-from repro.vgiw.mtcgrf import FabricStats, _ReplicaState, _op_energy_class
+from repro.vgiw.mtcgrf import (
+    T_INIT,
+    T_LOAD,
+    T_LVLOAD,
+    T_LVSTORE,
+    T_OP,
+    T_SCU,
+    T_SJ,
+    T_STORE,
+    ExecPlan,
+    FabricStats,
+    _ReplicaState,
+    build_exec_plan,
+)
 
 Number = Union[int, float, bool]
 
@@ -87,6 +99,7 @@ class SGMFCore:
         faults: Optional[FaultInjector] = None,
         tracer=None,
         metrics: Optional[Metrics] = None,
+        compile_cache=None,
     ) -> SGMFRunResult:
         """Execute the kernel, or raise :class:`SGMFUnmappableError`.
 
@@ -94,12 +107,21 @@ class SGMFCore:
         ``sgmf.thread``) plus cache-miss / DRAM row-activation events
         from the memory hierarchy; ``metrics`` receives the run's
         counters under the ``sgmf/`` scope.  Both attach to the
-        returned result.
+        returned result.  ``compile_cache`` memoises the whole-kernel
+        mapping per kernel × fabric config (``SGMFUnmappableError``
+        included — the capacity proof is derived once per sweep).
         """
         config = self.config
         # Disabled-mode fast path: one local None-test per hook site.
         trace = tracer if (tracer is not None and tracer.enabled) else None
-        mapping = map_kernel(kernel, config.fabric)
+        if compile_cache is not None:
+            from repro.compiler.cache import cached_map_kernel
+
+            mapping = cached_map_kernel(
+                kernel, config.fabric, cache=compile_cache
+            )
+        else:
+            mapping = map_kernel(kernel, config.fabric)
         params = {
             name: (
                 float(params[name])
@@ -118,8 +140,30 @@ class SGMFCore:
 
         n_replicas = mapping.n_replicas
         reps = [_ReplicaState(config) for _ in range(n_replicas)]
-        topo = {name: dfg.topo_order() for name, dfg in mapping.dfgs.items()}
-        sinks = {name: dfg.sink_nodes() for name, dfg in mapping.dfgs.items()}
+        # Precompile every block once per replica: the per-thread walk
+        # then dispatches on flat tuples instead of re-inspecting DFG
+        # nodes (cycle-identical; see docs/performance.md).  Pseudo
+        # nodes (wired live values, non-entry initiators) are excluded
+        # from the energy accounting, matching the SGMF convention.
+        plans: List[Dict[str, ExecPlan]] = []
+        waste_units: List[Dict[str, List[int]]] = []
+        for ridx in range(n_replicas):
+            placed = mapping.replicas[ridx]
+            plan_map: Dict[str, ExecPlan] = {}
+            wu_map: Dict[str, List[int]] = {}
+            for name, dfg in mapping.dfgs.items():
+                pl = placed[name]
+                plan_map[name] = build_exec_plan(
+                    dfg, pl.unit_of, pl.edge_hops, params,
+                    config.op_latency, count_pseudo_ops=False,
+                )
+                wu_map[name] = [
+                    pl.unit_of[node.nid]
+                    for node in dfg.nodes
+                    if not node.pseudo
+                ]
+            plans.append(plan_map)
+            waste_units.append(wu_map)
         depth = config.token_buffer_depth
         wd = ForwardProgressWatchdog(watchdog, "sgmf", kernel.name)
         wd.start(0.0)
@@ -151,9 +195,8 @@ class SGMFCore:
                     inject = bound
             rep.inject_times.append(inject)
             completion = self._run_thread(
-                mapping, topo, sinks, rep, mapping.replicas[ridx], i, inject,
-                params, memory, memsys, stats, max_block_visits,
-                wd, snapshot,
+                kernel, plans[ridx], waste_units[ridx], rep, i, inject,
+                memory, memsys, stats, max_block_visits, wd, snapshot,
             )
             rep.next_inject = inject + 1.0
             rep.window.append(completion)
@@ -195,14 +238,12 @@ class SGMFCore:
     # ------------------------------------------------------------------
     def _run_thread(
         self,
-        mapping: SGMFMapping,
-        topo: Dict[str, List[int]],
-        sinks: Dict[str, List[int]],
+        kernel: Kernel,
+        plans: Dict[str, ExecPlan],
+        waste_units: Dict[str, List[int]],
         rep: _ReplicaState,
-        placed: Dict[str, "PlacedReplica"],
         tid: int,
         inject: float,
-        params: Dict[str, Number],
         memory: MemoryImage,
         memsys: MemorySystem,
         stats: FabricStats,
@@ -210,9 +251,28 @@ class SGMFCore:
         wd: Optional[ForwardProgressWatchdog] = None,
         snapshot=None,
     ) -> float:
-        config = self.config
+        """Walk one thread through the precompiled whole-kernel graph.
+
+        Interprets :class:`~repro.vgiw.mtcgrf.ExecPlan` rows (shared
+        with the VGIW fabric model) with the SGMF semantics for live
+        values: LVLOAD/LVSTORE are direct wires between block subgraphs
+        — no LVC unit issue, a fixed one-cycle wire hop on the load
+        side.  Cycle counts are bit-identical to the historical direct
+        DFG walk.
+        """
         faults = self._faults
-        kernel = mapping.kernel
+        config = self.config
+        # Hoisted hot-loop locals (attribute lookups cost on this path).
+        issue = rep.issue
+        issue_mem = rep.issue_mem
+        issue_scu = rep.issue_scu
+        retire_mem = rep.retire_mem
+        entries = config.ldst_reservation_entries
+        mem_access = memsys.access_word
+        mem_read = memory.read
+        mem_write = memory.write
+        ops = stats.ops
+
         regs_ready: Dict[str, float] = {}
         reg_vals: Dict[str, Number] = {}
         visited = set()
@@ -238,104 +298,118 @@ class SGMFCore:
                 # per-thread control-flow walk.
                 wd.check(entry_time, snapshot)
             visited.add(current)
-            dfg = mapping.dfgs[current]
-            pl = placed[current]
-            done: Dict[int, Number] = {}
-            value: Dict[int, Number] = {}
-
-            def src_value(src):
-                if isinstance(src, NodeSrc):
-                    return value[src.node]
-                if isinstance(src, ImmSrc):
-                    return src.value
-                if isinstance(src, ParamSrc):
-                    return params[src.name]
-                return tid
+            plan = plans[current]
+            n = plan.n_nodes
+            done: List[float] = [0.0] * n
+            value: List[Optional[Number]] = [None] * n
 
             next_block: Optional[str] = None
-            for nid in topo[current]:
-                node = dfg.node(nid)
-                ready = entry_time
-                for up in node.input_nodes():
-                    ready = max(ready, done[up] + pl.edge_hops[(up, nid)])
-
-                kind = node.kind
-                if kind is NodeKind.INIT:
+            for row in plan.rows:
+                tag = row[0]
+                nid = row[1]
+                if tag == T_INIT:
                     done[nid] = entry_time
                     value[nid] = tid
-                elif kind is NodeKind.LVLOAD:
-                    # Wired live value: arrives from the producing block.
-                    done[nid] = max(entry_time, regs_ready[node.out_reg] + 1)
-                    value[nid] = reg_vals[node.out_reg]
-                elif kind is NodeKind.LVSTORE:
-                    done[nid] = ready
-                    regs_ready[node.out_reg] = ready
-                    reg_vals[node.out_reg] = src_value(node.srcs[0])
-                elif kind is NodeKind.LOAD:
-                    addr = int(src_value(node.srcs[0]))
-                    start = rep.issue_mem(
-                        pl.unit_of[nid], ready, config.ldst_reservation_entries
-                    )
-                    fin = memsys.access_word(start, addr, False)
-                    rep.retire_mem(pl.unit_of[nid], fin)
-                    done[nid] = fin
-                    raw = memory.read(addr)
-                    value[nid] = int(raw) if node.dtype is DType.INT else raw
-                elif kind is NodeKind.STORE:
-                    addr = int(src_value(node.srcs[0]))
-                    start = rep.issue_mem(
-                        pl.unit_of[nid], ready, config.ldst_reservation_entries
-                    )
-                    fin = memsys.access_word(start, addr, True)
-                    rep.retire_mem(pl.unit_of[nid], fin)
-                    done[nid] = fin
-                    memory.write(addr, src_value(node.srcs[1]))
-                elif kind is NodeKind.TERM:
-                    start = rep.issue(pl.unit_of[nid], ready)
-                    done[nid] = start + 1.0
-                    if dfg.term_kind is TermKind.RET:
-                        next_block = None
-                    elif dfg.term_kind is TermKind.JMP:
-                        next_block = dfg.true_target
+                    continue
+                ready = entry_time
+                for up, hop in row[3]:
+                    t = done[up] + hop
+                    if t > ready:
+                        ready = t
+                if tag == T_OP or tag == T_SCU:
+                    latency = row[4]
+                    if tag == T_SCU:
+                        start = issue_scu(row[2], ready, latency)
                     else:
-                        taken = bool(src_value(node.srcs[0]))
-                        next_block = (
-                            dfg.true_target if taken else dfg.false_target
-                        )
-                elif kind in (NodeKind.SPLIT, NodeKind.JOIN):
-                    start = rep.issue(pl.unit_of[nid], ready)
-                    done[nid] = start + config.op_latency["split"]
-                    if kind is NodeKind.SPLIT:
-                        value[nid] = src_value(node.srcs[0])
-                else:  # OP
-                    latency = op_latency_for(node.op, config.op_latency)
-                    if node.unit_kind is UnitKind.SPECIAL:
-                        start = rep.issue_scu(pl.unit_of[nid], ready, latency)
-                    else:
-                        start = rep.issue(pl.unit_of[nid], ready)
+                        start = issue(row[2], ready)
                     done[nid] = start + latency
-                    args = [src_value(s) for s in node.srcs]
-                    result = EVAL[node.op](*args)
-                    if node.dtype is DType.INT:
+                    args = [
+                        p if m == 0 else value[p] if m == 1 else tid
+                        for m, p in row[6]
+                    ]
+                    result = row[5](*args)
+                    dt = row[7]
+                    if dt == 1:
                         result = int(result)
-                    elif node.dtype is DType.FLOAT:
+                    elif dt == 2:
                         result = float(result)
                     if faults is not None:
                         result = faults.corrupt_token(
-                            current, pl.unit_of[nid], tid, start, result
+                            current, row[2], tid, start, result
                         )
                     value[nid] = result
+                elif tag == T_LVLOAD:
+                    # Wired live value: arrives from the producing block.
+                    reg = row[5].out_reg
+                    t = regs_ready[reg] + 1
+                    done[nid] = entry_time if entry_time >= t else t
+                    value[nid] = reg_vals[reg]
+                elif tag == T_LVSTORE:
+                    reg = row[6].out_reg
+                    done[nid] = ready
+                    regs_ready[reg] = ready
+                    m, p = row[5]
+                    reg_vals[reg] = (
+                        p if m == 0 else value[p] if m == 1 else tid
+                    )
+                elif tag == T_LOAD:
+                    m, p = row[4]
+                    addr = int(p if m == 0 else value[p] if m == 1 else tid)
+                    start = issue_mem(row[2], ready, entries)
+                    fin = mem_access(start, addr, False)
+                    retire_mem(row[2], fin)
+                    done[nid] = fin
+                    raw = mem_read(addr)
+                    value[nid] = int(raw) if row[5] else raw
+                elif tag == T_STORE:
+                    m, p = row[4]
+                    addr = int(p if m == 0 else value[p] if m == 1 else tid)
+                    start = issue_mem(row[2], ready, entries)
+                    fin = mem_access(start, addr, True)
+                    retire_mem(row[2], fin)
+                    done[nid] = fin
+                    m, p = row[5]
+                    mem_write(
+                        addr, p if m == 0 else value[p] if m == 1 else tid
+                    )
+                elif tag == T_SJ:
+                    start = issue(row[2], ready)
+                    done[nid] = start + row[4]
+                    passthrough = row[5]
+                    if passthrough is not None:
+                        m, p = passthrough
+                        value[nid] = (
+                            p if m == 0 else value[p] if m == 1 else tid
+                        )
+                else:  # T_TERM
+                    start = issue(row[2], ready)
+                    done[nid] = start + 1.0
+                    term_kind = plan.term_kind
+                    if term_kind is TermKind.RET:
+                        next_block = None
+                    elif term_kind is TermKind.JMP:
+                        next_block = plan.true_target
+                    else:
+                        m, p = row[4]
+                        taken = bool(
+                            p if m == 0 else value[p] if m == 1 else tid
+                        )
+                        next_block = (
+                            plan.true_target if taken
+                            else plan.false_target
+                        )
 
-                stats.node_fires += 1
-                stats.tokens += 1
-                if not node.pseudo:
-                    stats.ops[_op_energy_class(node, node.op)] += 1
-                for up in node.input_nodes():
-                    stats.token_hops += pl.edge_hops[(up, nid)]
+            # Per-visit statistics, batched (O(op classes), not O(nodes)).
+            stats.node_fires += n
+            stats.tokens += n
+            stats.token_hops += plan.total_hops
+            for cls, count in plan.ops_counts.items():
+                ops[cls] += count
 
-            completion = max(completion, max(done[s] for s in sinks[current]))
-            term_done = done[dfg.term_node]
-            entry_time = term_done + 1.0
+            block_completion = max(done[s] for s in plan.sinks)
+            if block_completion > completion:
+                completion = block_completion
+            entry_time = done[plan.term_nid] + 1.0
             current = next_block
 
         # Predicated pass-through: one useless token through every node
@@ -345,19 +419,18 @@ class SGMFCore:
         # them at injection time would let them backfill long-idle
         # cycles and understate the utilisation loss.
         waste_time = inject + 0.5 * (completion - inject)
-        for name, dfg in mapping.dfgs.items():
+        for name, plan in plans.items():
             if name in visited:
                 continue
-            pl = placed[name]
-            for node in dfg.nodes:
-                stats.node_fires += 1
-                stats.tokens += 1
-                self._waste_fires += 1
-                if node.pseudo:
-                    continue
-                stats.ops[_op_energy_class(node, node.op)] += 1
-                # Occupies an issue slot but performs no memory access.
-                rep.issue(pl.unit_of[node.nid], waste_time)
+            n = plan.n_nodes
+            stats.node_fires += n
+            stats.tokens += n
+            self._waste_fires += n
+            for cls, count in plan.ops_counts.items():
+                ops[cls] += count
+            # Occupies an issue slot but performs no memory access.
+            for uid in waste_units[name]:
+                issue(uid, waste_time)
 
         return completion
 

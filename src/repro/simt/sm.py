@@ -49,7 +49,7 @@ from repro.resilience.watchdog import (
     WatchdogConfig,
 )
 from repro.simt.simtstack import SIMTStack
-from repro.simt.warp import Warp
+from repro.simt.warp import Warp, prepare_instr
 
 Number = Union[int, float, bool]
 
@@ -154,6 +154,7 @@ class FermiSM:
         faults: Optional[FaultInjector] = None,
         tracer=None,
         metrics: Optional[Metrics] = None,
+        compile_cache=None,
     ) -> FermiRunResult:
         """Execute ``n_threads`` of ``kernel`` against ``memory``.
 
@@ -161,7 +162,9 @@ class FermiSM:
         retirements, IPDOM divergences) plus cache-miss and DRAM
         row-activation events from the memory hierarchy; ``metrics``
         receives the run's counters under the ``fermi/`` scope.  Both
-        attach to the returned result.
+        attach to the returned result.  ``compile_cache`` memoises the
+        CFG analyses (IPDOM tree, register-pressure estimate) per
+        kernel.
         """
         config = self.config
         # Disabled-mode fast path: one local None-test per hook site.
@@ -178,8 +181,53 @@ class FermiSM:
             config.memory, l1_write_back=config.l1_write_back, faults=faults,
             tracer=trace,
         )
-        ipdom = immediate_post_dominators(kernel)
+        if compile_cache is not None:
+            from repro.compiler.cache import kernel_fingerprint
+
+            key = compile_cache.make_key(
+                "fermi-analysis", kernel_fingerprint(kernel)
+            )
+            ipdom, cached_pressure = compile_cache.get_or_build(
+                "fermi-analysis", key,
+                lambda: (
+                    immediate_post_dominators(kernel),
+                    _register_pressure(kernel),
+                ),
+            )
+        else:
+            ipdom = immediate_post_dominators(kernel)
+            cached_pressure = None
         stats = SMStats()
+        # Precompute one descriptor row per instruction so the issue
+        # loop never re-derives unit class / register operand lists /
+        # FPU-ness per warp (they are per-instruction constants).
+        # Cycle-identical: only host-side Python overhead changes.
+        tables: Dict[str, tuple] = {}
+        for bname, block in kernel.blocks.items():
+            descs = []
+            for instr in block.instrs:
+                cls = unit_class(instr.op)
+                cls_code = (
+                    1 if cls is UnitClass.MEMORY
+                    else 2 if cls is UnitClass.SPECIAL else 0
+                )
+                src_regs = tuple(
+                    s.name for s in instr.srcs if isinstance(s, Reg)
+                )
+                is_fpu = (
+                    instr.op.value.startswith("f")
+                    or instr.op.value == "i2f"
+                )
+                descs.append((instr, cls_code, src_regs, instr.dst, is_fpu,
+                              prepare_instr(instr, params)))
+            term = block.terminator
+            tables[bname] = (
+                descs,
+                term,
+                term.cond is not None,
+                getattr(term.cond, "name", ""),
+                isinstance(term.cond, Reg),
+            )
         wd = ForwardProgressWatchdog(watchdog, "fermi", kernel.name)
         wd.start(0.0)
         if faults is not None:
@@ -193,7 +241,10 @@ class FermiSM:
         if config.model_occupancy:
             # The register file bounds occupancy: each resident warp
             # holds `pressure` registers x 32 lanes x 4 bytes.
-            pressure = _register_pressure(kernel)
+            pressure = (
+                cached_pressure if cached_pressure is not None
+                else _register_pressure(kernel)
+            )
             rf_warps = config.register_file_bytes // max(
                 1, 4 * ws * pressure
             )
@@ -265,39 +316,53 @@ class FermiSM:
             )
 
         wd_armed = wd.armed
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         while heap:
-            t, _, ctx = heapq.heappop(heap)
+            t, _, ctx = heappop(heap)
             if wd_armed:
                 wd.check(t, snapshot)
-            block = kernel.blocks[ctx.block]
+            descs, term, has_cond, cond_name, cond_is_reg = tables[ctx.block]
             mask = ctx.stack.current().mask
             active = bin(mask).count("1")
 
-            if ctx.idx < len(block.instrs):
-                instr = block.instrs[ctx.idx]
+            if ctx.idx < len(descs):
+                instr, cls_code, src_regs, dst, is_fpu, prep = descs[ctx.idx]
                 ctx.idx += 1
-                issue = self._operand_ready(ctx, instr, t)
-                issue = max(issue, issue_free)
+                # Scoreboard: operands' pending writes must complete.
+                issue = t if t >= ctx.ready else ctx.ready
+                reg_ready = ctx.reg_ready
+                for name in src_regs:
+                    r = reg_ready.get(name, 0.0)
+                    if r > issue:
+                        issue = r
+                if issue < issue_free:
+                    issue = issue_free
                 issue_free = issue + issue_period
                 done = self._dispatch(
-                    ctx, instr, mask, active, issue, stats, memsys, config
+                    ctx, instr, mask, active, issue, stats, memsys, config,
+                    cls_code, is_fpu, prep,
                 )
-                self._count_rf(stats, instr)
+                # One RF access per register operand, counted once for
+                # the whole warp (paper Figure 3's accounting).
+                stats.rf_reads += len(src_regs)
+                if dst is not None:
+                    stats.rf_writes += 1
                 stats.instructions_issued += 1
                 stats.lane_ops += active
                 stats.wasted_lane_slots += ws - active
-                horizon = max(horizon, done)
+                if done > horizon:
+                    horizon = done
                 ctx.ready = issue + 1.0
-                heapq.heappush(heap, (ctx.ready, next(counter), ctx))
+                heappush(heap, (ctx.ready, next(counter), ctx))
                 continue
 
             # Block terminator: a branch instruction.
-            term = block.terminator
             issue = t
-            if term.cond is not None:
-                issue = max(
-                    issue, ctx.reg_ready.get(getattr(term.cond, "name", ""), 0.0)
-                )
+            if has_cond:
+                r = ctx.reg_ready.get(cond_name, 0.0)
+                if r > issue:
+                    issue = r
             issue = max(issue, issue_free, self._alu_free)
             issue_free = issue + issue_period
             self._alu_free = issue + 1.0
@@ -306,9 +371,10 @@ class FermiSM:
             stats.lane_ops += active
             stats.lane_alu_ops += active
             stats.wasted_lane_slots += ws - active
-            if isinstance(term.cond, Reg):
+            if cond_is_reg:
                 stats.rf_reads += 1
-            horizon = max(horizon, issue + 1.0)
+            if issue + 1.0 > horizon:
+                horizon = issue + 1.0
 
             targets = ctx.warp.exec_terminator(term, mask)
             before = ctx.stack.divergences
@@ -373,13 +439,6 @@ class FermiSM:
         ).attach_obs(tracer, metrics)
 
     # ------------------------------------------------------------------
-    def _operand_ready(self, ctx: _WarpCtx, instr: Instr, t: float) -> float:
-        ready = max(t, ctx.ready)
-        for src in instr.srcs:
-            if isinstance(src, Reg):
-                ready = max(ready, ctx.reg_ready.get(src.name, 0.0))
-        return ready
-
     def _dispatch(
         self,
         ctx: _WarpCtx,
@@ -390,12 +449,24 @@ class FermiSM:
         stats: SMStats,
         memsys: MemorySystem,
         config: FermiConfig,
+        cls_code: int,
+        is_fpu: bool,
+        prep=None,
     ) -> float:
-        cls = unit_class(instr.op)
-        if cls is UnitClass.MEMORY:
+        """Execute one warp instruction on its pipeline.
+
+        ``cls_code`` (0=ALU, 1=MEMORY, 2=SFU), ``is_fpu`` and ``prep``
+        (a :func:`repro.simt.warp.prepare_instr` row) come from the
+        per-block descriptor table built in :meth:`run` — they are
+        per-instruction constants hoisted out of the issue loop.
+        """
+        exec_one = (ctx.warp.exec_instr if prep is None
+                    else ctx.warp.exec_prepared)
+        what = instr if prep is None else prep
+        if cls_code == 1:  # UnitClass.MEMORY
             stats.mem_instructions += 1
             stats.lane_mem_ops += active
-            mem_ops = ctx.warp.exec_instr(instr, mask)
+            mem_ops = exec_one(what, mask)
             is_write = instr.op is Op.STORE
             segments = coalesce_word_addresses(
                 [m.word_addr for m in mem_ops], config.memory.l1_line_bytes
@@ -417,10 +488,10 @@ class FermiSM:
             # Stores are posted: the warp does not wait for them.
             return issue + 1.0
 
-        if cls is UnitClass.SPECIAL:
+        if cls_code == 2:  # UnitClass.SPECIAL
             stats.sfu_instructions += 1
             stats.lane_sfu_ops += active
-            ctx.warp.exec_instr(instr, mask)
+            exec_one(what, mask)
             start = max(issue, self._sfu_free)
             self._sfu_free = start + config.sfu_throughput_cycles
             done = start + config.sfu_latency
@@ -428,11 +499,11 @@ class FermiSM:
             return done
 
         stats.alu_instructions += 1
-        if instr.op.value.startswith("f") or instr.op.value == "i2f":
+        if is_fpu:
             stats.lane_fpu_ops += active
         else:
             stats.lane_alu_ops += active
-        ctx.warp.exec_instr(instr, mask)
+        exec_one(what, mask)
         # The 32 CUDA cores execute one full warp instruction per cycle;
         # dual issue only helps when pairing ALU with LDST/SFU work.
         start = max(issue, self._alu_free)
@@ -461,15 +532,3 @@ class FermiSM:
                 self._ldst_free += wait
             heapq.heappush(heap, done + penalty)
         return penalty
-
-    @staticmethod
-    def _count_rf(stats: SMStats, instr: Instr) -> None:
-        """One RF access per register operand, counted once for the whole
-        warp (paper Figure 3's accounting).  Reserved registers (thread
-        index, kernel parameters) count too: on a real SM they live in
-        ordinary registers loaded at kernel entry."""
-        for src in instr.srcs:
-            if isinstance(src, Reg):
-                stats.rf_reads += 1
-        if instr.dst is not None:
-            stats.rf_writes += 1

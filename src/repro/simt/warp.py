@@ -13,11 +13,66 @@ from typing import Dict, List, Optional, Union
 
 from repro.interp.interpreter import _coerce
 from repro.ir.instr import EVAL, Instr, Op, TermKind, Terminator
-from repro.ir.types import Imm, Reg, TID_REG, is_param_reg, PARAM_PREFIX
+from repro.ir.types import DType, Imm, Reg, TID_REG, is_param_reg, PARAM_PREFIX
 from repro.memory.image import MemoryImage
 from repro.simt.simtstack import EXIT
 
 Number = Union[int, float, bool]
+
+# Prepared-operand modes (see :func:`prepare_instr`).
+_SRC_CONST = 0   # payload is the value itself (Imm or launch param)
+_SRC_REG = 1     # payload is the register name
+_SRC_TID = 2     # payload unused; value = base_tid + lane
+
+#: mask -> tuple of active lane indices.  Warp masks repeat heavily
+#: within (and across) kernels, so the decode is memoised.  Bounded so a
+#: pathological mask sequence cannot grow it without limit.
+_LANES_CACHE: Dict[int, tuple] = {}
+_LANES_CACHE_CAP = 1 << 16
+
+
+def _lanes_tuple(mask: int) -> tuple:
+    lanes = _LANES_CACHE.get(mask)
+    if lanes is None:
+        lanes = tuple(Warp.lanes_of(mask))
+        if len(_LANES_CACHE) < _LANES_CACHE_CAP:
+            _LANES_CACHE[mask] = lanes
+    return lanes
+
+
+def prepare_instr(instr: Instr, params: Dict[str, Number]):
+    """Precompile ``instr`` into a flat row for :meth:`Warp.exec_prepared`.
+
+    Launch parameters are uniform across the launch, so parameter reads
+    are folded into constants here (the SM builds one row per static
+    instruction, once per kernel run).  Row layouts::
+
+        (0, asrc, dst, dt)            LOAD
+        (1, asrc, vsrc)               STORE
+        (2, fn, srcs, dst, dt)        everything else
+
+    where each source is a ``(mode, payload)`` pair (const value /
+    register name / thread id) and ``dt`` selects the result coercion
+    (1 = int, 2 = float, 0 = bool) — exactly the semantics of
+    :meth:`Warp.exec_instr`, minus the per-lane operand dispatch.
+    """
+    def prep(operand):
+        if isinstance(operand, Imm):
+            return (_SRC_CONST, operand.value)
+        if operand == TID_REG:
+            return (_SRC_TID, 0)
+        if is_param_reg(operand):
+            return (_SRC_CONST, params[operand.name[len(PARAM_PREFIX):]])
+        return (_SRC_REG, operand.name)
+
+    dt = (1 if instr.dtype is DType.INT
+          else 2 if instr.dtype is DType.FLOAT else 0)
+    if instr.op is Op.LOAD:
+        return (0, prep(instr.srcs[0]), instr.dst, dt)
+    if instr.op is Op.STORE:
+        return (1, prep(instr.srcs[0]), prep(instr.srcs[1]))
+    return (2, EVAL[instr.op], tuple(prep(s) for s in instr.srcs),
+            instr.dst, dt)
 
 
 @dataclass
@@ -91,6 +146,56 @@ class Warp:
             for lane in self.lanes_of(mask):
                 args = [self._read(s, lane) for s in instr.srcs]
                 self._write(instr.dst, lane, _coerce(fn(*args), instr.dtype))
+        return mem_ops
+
+    def exec_prepared(self, prep, mask: int) -> List[LaneMemOp]:
+        """Execute one :func:`prepare_instr` row on all lanes in ``mask``.
+
+        Functionally identical to :meth:`exec_instr` on the original
+        instruction; only the host-side per-lane operand dispatch is
+        precompiled away.
+        """
+        mem_ops: List[LaneMemOp] = []
+        regs = self._regs
+        base = self.base_tid
+        tag = prep[0]
+        if tag == 2:  # ALU / SFU
+            _, fn, srcs, dst, dt = prep
+            dlanes = regs.get(dst)
+            if dlanes is None:
+                dlanes = regs[dst] = [0] * self.n_lanes
+            for lane in _lanes_tuple(mask):
+                args = [
+                    regs[p][lane] if m == _SRC_REG
+                    else p if m == _SRC_CONST else base + lane
+                    for m, p in srcs
+                ]
+                v = fn(*args)
+                dlanes[lane] = (int(v) if dt == 1
+                                else float(v) if dt == 2 else bool(v))
+        elif tag == 0:  # LOAD
+            _, (am, ap), dst, dt = prep
+            dlanes = regs.get(dst)
+            if dlanes is None:
+                dlanes = regs[dst] = [0] * self.n_lanes
+            mem_read = self.memory.read
+            for lane in _lanes_tuple(mask):
+                addr = int(regs[ap][lane] if am == _SRC_REG
+                           else ap if am == _SRC_CONST else base + lane)
+                v = mem_read(addr)
+                dlanes[lane] = (int(v) if dt == 1
+                                else float(v) if dt == 2 else bool(v))
+                mem_ops.append(LaneMemOp(lane, addr))
+        else:  # STORE
+            _, (am, ap), (vm, vp) = prep
+            mem_write = self.memory.write
+            for lane in _lanes_tuple(mask):
+                addr = int(regs[ap][lane] if am == _SRC_REG
+                           else ap if am == _SRC_CONST else base + lane)
+                mem_write(addr,
+                          regs[vp][lane] if vm == _SRC_REG
+                          else vp if vm == _SRC_CONST else base + lane)
+                mem_ops.append(LaneMemOp(lane, addr))
         return mem_ops
 
     def exec_terminator(self, term: Terminator, mask: int) -> Dict[str, int]:

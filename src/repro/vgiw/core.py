@@ -136,6 +136,7 @@ class VGIWCore:
         faults: Optional[FaultInjector] = None,
         tracer=None,
         metrics: Optional[Metrics] = None,
+        compile_cache=None,
     ) -> VGIWRunResult:
         """Execute ``n_threads`` of ``kernel`` against ``memory``.
 
@@ -149,15 +150,23 @@ class VGIWCore:
         and DRAM row activations as timeline events; ``metrics`` (a
         :class:`repro.obs.Metrics`) receives the run's counters under
         the ``vgiw/`` scope.  Both attach to the returned result.
+        ``compile_cache`` (a :class:`repro.compiler.CompileCache`)
+        memoises the place-&-route result per kernel × fabric config —
+        see ``docs/performance.md``.
         """
         config = self.config
         # Disabled-mode fast path: one local None-test per hook site.
         trace = tracer if (tracer is not None and tracer.enabled) else None
-        compiled = (
-            kernel
-            if isinstance(kernel, CompiledKernel)
-            else compile_kernel(kernel, config.fabric)
-        )
+        if isinstance(kernel, CompiledKernel):
+            compiled = kernel
+        elif compile_cache is not None:
+            from repro.compiler.cache import cached_compile_kernel
+
+            compiled = cached_compile_kernel(
+                kernel, config.fabric, cache=compile_cache
+            )
+        else:
+            compiled = compile_kernel(kernel, config.fabric)
         kernel_obj = compiled.kernel
         params = {
             name: (

@@ -118,6 +118,160 @@ class ThreadOutcome:
 _FLOAT_OPS_PREFIX = "f"
 
 
+# ----------------------------------------------------------------------
+# Precompiled execution plans
+# ----------------------------------------------------------------------
+# The per-thread walk over a block's dataflow graph is the hottest loop
+# in the repository (it runs once per node per thread).  Everything
+# about a node that does not depend on the thread — its placed unit,
+# routed hop distances, operation latency, semantics function, energy
+# class, and the resolution of its operand sources (immediates and
+# kernel parameters are configuration-time constants, paper §3.5) — is
+# therefore *precompiled* once per (block, replica) into an
+# :class:`ExecPlan` of flat tuples, and the inner loop dispatches on an
+# integer tag.  Cycle counts are bit-identical to the direct walk (the
+# same floating-point max/issue sequence in the same order); only the
+# host-side Python overhead changes.  ``docs/performance.md`` has the
+# measurements.
+
+#: row tags (``row[0]``) for the plan interpreter's dispatch
+T_INIT, T_LVLOAD, T_LVSTORE, T_LOAD, T_STORE, T_TERM, T_SJ, T_OP, T_SCU = (
+    range(9)
+)
+
+#: operand-source modes: resolved constant / upstream node value / tid
+SRC_CONST, SRC_NODE, SRC_TID = range(3)
+
+
+def resolve_src(src, params: Dict[str, Number]) -> Tuple[int, Number]:
+    """Fold one DFG operand source into a ``(mode, payload)`` pair."""
+    if isinstance(src, NodeSrc):
+        return (SRC_NODE, src.node)
+    if isinstance(src, ImmSrc):
+        return (SRC_CONST, src.value)
+    if isinstance(src, ParamSrc):
+        return (SRC_CONST, params[src.name])
+    return (SRC_TID, 0)  # TidSrc
+
+
+class ExecPlan:
+    """A block's dataflow graph, precompiled for one replica placement.
+
+    ``rows`` drive the interpreter loop in
+    :meth:`MTCGRFExecutor._run_thread` (and its SGMF sibling);
+    ``n_nodes`` / ``total_hops`` / ``ops_counts`` let the per-node
+    statistics be accumulated in O(1) per thread instead of O(nodes).
+    """
+
+    __slots__ = (
+        "rows", "n_nodes", "total_hops", "ops_counts", "sinks",
+        "block_name", "term_kind", "true_target", "false_target",
+        "term_nid",
+    )
+
+    def __init__(self, rows, n_nodes, total_hops, ops_counts, sinks,
+                 block_name, term_kind, true_target, false_target,
+                 term_nid):
+        self.rows = rows
+        self.n_nodes = n_nodes
+        self.total_hops = total_hops
+        self.ops_counts = ops_counts
+        self.sinks = sinks
+        self.block_name = block_name
+        self.term_kind = term_kind
+        self.true_target = true_target
+        self.false_target = false_target
+        self.term_nid = term_nid
+
+
+def build_exec_plan(
+    dfg: BlockDFG,
+    unit_of: Dict[int, int],
+    edge_hops: Dict[Tuple[int, int], int],
+    params: Dict[str, Number],
+    op_latency: Dict[str, int],
+    count_pseudo_ops: bool = True,
+) -> ExecPlan:
+    """Precompile ``dfg`` (placed via ``unit_of``/``edge_hops``).
+
+    ``count_pseudo_ops=False`` excludes pseudo nodes from the energy
+    accounting (the SGMF convention: wired live values occupy no
+    physical unit); timing rows are emitted for every node either way.
+    """
+    rows = []
+    total_hops = 0
+    ops_counts: Counter = Counter()
+    split_latency = op_latency["split"]
+    for nid in dfg.topo_order():
+        node = dfg.node(nid)
+        # Pseudo nodes (SGMF wires) occupy no physical unit; they never
+        # issue, so the placeholder uid is never dereferenced.
+        uid = unit_of.get(nid, -1)
+        inputs = tuple(
+            (up, edge_hops[(up, nid)]) for up in node.input_nodes()
+        )
+        total_hops += sum(h for _, h in inputs)
+        if count_pseudo_ops or not node.pseudo:
+            ops_counts[_op_energy_class(node, node.op)] += 1
+        kind = node.kind
+        if kind is NodeKind.INIT:
+            rows.append((T_INIT, nid))
+        elif kind is NodeKind.LVLOAD:
+            rows.append((T_LVLOAD, nid, uid, inputs, node.lv_id, node))
+        elif kind is NodeKind.LVSTORE:
+            rows.append((
+                T_LVSTORE, nid, uid, inputs, node.lv_id,
+                resolve_src(node.srcs[0], params), node,
+            ))
+        elif kind is NodeKind.LOAD:
+            rows.append((
+                T_LOAD, nid, uid, inputs,
+                resolve_src(node.srcs[0], params),
+                node.dtype is DType.INT,
+            ))
+        elif kind is NodeKind.STORE:
+            rows.append((
+                T_STORE, nid, uid, inputs,
+                resolve_src(node.srcs[0], params),
+                resolve_src(node.srcs[1], params),
+            ))
+        elif kind is NodeKind.TERM:
+            cond = (
+                resolve_src(node.srcs[0], params)
+                if dfg.term_kind is TermKind.BR else None
+            )
+            rows.append((T_TERM, nid, uid, inputs, cond))
+        elif kind in (NodeKind.SPLIT, NodeKind.JOIN):
+            passthrough = (
+                resolve_src(node.srcs[0], params)
+                if kind is NodeKind.SPLIT else None
+            )
+            rows.append((T_SJ, nid, uid, inputs, split_latency, passthrough))
+        else:  # OP
+            latency = op_latency_for(node.op, op_latency)
+            tag = T_SCU if node.unit_kind is UnitKind.SPECIAL else T_OP
+            dt = (
+                1 if node.dtype is DType.INT
+                else 2 if node.dtype is DType.FLOAT else 0
+            )
+            rows.append((
+                tag, nid, uid, inputs, latency, EVAL[node.op],
+                tuple(resolve_src(s, params) for s in node.srcs), dt,
+            ))
+    return ExecPlan(
+        rows=rows,
+        n_nodes=len(dfg.nodes),
+        total_hops=total_hops,
+        ops_counts=ops_counts,
+        sinks=tuple(dfg.sink_nodes()),
+        block_name=dfg.block_name,
+        term_kind=dfg.term_kind,
+        true_target=dfg.true_target,
+        false_target=dfg.false_target,
+        term_nid=dfg.term_node,
+    )
+
+
 def _op_energy_class(node, op: Optional[Op]) -> str:
     kind = node.kind
     if kind in (NodeKind.INIT, NodeKind.TERM):
@@ -162,34 +316,35 @@ class _ReplicaState:
         #: cycles injection stalled on a full token-buffer window
         self.inject_wait: float = 0.0
 
-    def _claim(self, busy_map: Dict[int, set], high_map: Dict[int, int],
-               uid: int, ready: float) -> float:
-        """Claim the first free cycle of a per-unit calendar."""
-        t = int(ready) if ready == int(ready) else int(ready) + 1
-        busy = busy_map.get(uid)
-        if busy is None:
-            busy = set()
-            busy_map[uid] = busy
-        start = t
-        if start <= high_map.get(uid, -1):
-            while start in busy:
-                start += 1
-        busy.add(start)
-        if start > high_map.get(uid, -1):
-            high_map[uid] = start
-        if start > t:
-            # Queueing delay behind earlier traffic on this unit — the
-            # per-unit stall histogram the hang diagnostics report.
-            self.unit_wait[uid] = self.unit_wait.get(uid, 0.0) + (start - t)
-        return float(start)
-
     def issue(self, uid: int, ready: float) -> float:
         """Claim the unit's first free issue cycle at or after ``ready``.
 
         The issue port doubles as the output port: one result per cycle
         leaves the unit, and the switch replicates it to all consumers
-        (the fanout bound is enforced statically by split insertion)."""
-        return self._claim(self.unit_busy, self.unit_high, uid, ready)
+        (the fanout bound is enforced statically by split insertion).
+
+        This is the hottest call of both dataflow simulators (one call
+        per non-memory token), so the calendar probe is written flat:
+        single ``unit_high`` lookup, no helper frame.
+        """
+        ti = int(ready)
+        t = ti if ti == ready else ti + 1
+        busy = self.unit_busy.get(uid)
+        if busy is None:
+            busy = self.unit_busy[uid] = set()
+        start = t
+        high = self.unit_high.get(uid, -1)
+        if start <= high:
+            while start in busy:
+                start += 1
+        busy.add(start)
+        if start > high:
+            self.unit_high[uid] = start
+        if start > t:
+            # Queueing delay behind earlier traffic on this unit — the
+            # per-unit stall histogram the hang diagnostics report.
+            self.unit_wait[uid] = self.unit_wait.get(uid, 0.0) + (start - t)
+        return float(start)
 
     def issue_scu(self, uid: int, ready: float, latency: int) -> float:
         pool = self.scu_pool.setdefault(
@@ -239,6 +394,8 @@ class MTCGRFExecutor:
         self.faults = faults
         self.fabric = fabric  # optional: names units in hang snapshots
         self.stats = FabricStats()
+        #: precompiled per-(block, replica) execution plans
+        self._plans: Dict[Tuple[str, int], ExecPlan] = {}
         #: functional live-value matrix: (lv_id, tid) -> value
         self.lv_values: Dict[Tuple[int, int], Number] = {}
         #: watchdog diagnostics: the block/replicas being streamed now
@@ -294,8 +451,8 @@ class MTCGRFExecutor:
         outcomes: List[ThreadOutcome] = []
         end_time = start_time
         depth = self.config.token_buffer_depth
-        order = cb.dfg.topo_order()
-        sinks = cb.dfg.sink_nodes()
+        plans = [self._plan_for(cb, ridx) for ridx in range(n_replicas)]
+        hop_total = 0
 
         for i, tid in enumerate(thread_ids):
             # The BBS hands out whole 64-thread batch packets to the
@@ -303,7 +460,7 @@ class MTCGRFExecutor:
             # see runs of consecutive thread IDs, not an interleave.
             ridx = (i // 64) % n_replicas
             rep = replicas[ridx]
-            placed = cb.placement.replicas[ridx]
+            plan = plans[ridx]
             inject = rep.next_inject
             if len(rep.window) >= depth:
                 bound = rep.window[len(rep.window) - depth]
@@ -313,147 +470,204 @@ class MTCGRFExecutor:
                     rep.inject_wait += bound - inject
                     inject = bound
             rep.inject_times.append(inject)
-            outcome, completion = self._run_thread(
-                cb.dfg, order, sinks, placed, rep, tid, inject
-            )
+            outcome, completion = self._run_thread(plan, rep, tid, inject)
             outcome.replica = ridx
+            hop_total += plan.total_hops
             rep.next_inject = inject + 1.0
             rep.window.append(completion)
             outcomes.append(outcome)
             end_time = max(end_time, completion)
 
-        self.stats.threads += len(thread_ids)
+        # Per-thread event counts are static per block, so the stats
+        # are accumulated batch-wise (O(1) per vector, not O(nodes) per
+        # thread).  The totals are identical to per-node counting.
+        n_thr = len(thread_ids)
+        stats = self.stats
+        stats.threads += n_thr
+        stats.node_fires += plans[0].n_nodes * n_thr
+        stats.tokens += plans[0].n_nodes * n_thr
+        stats.token_hops += hop_total
+        ops = stats.ops
+        for cls, count in plans[0].ops_counts.items():
+            ops[cls] += count * n_thr
         return outcomes, end_time
+
+    def _plan_for(self, cb: CompiledBlock, ridx: int) -> ExecPlan:
+        """The (cached) precompiled plan for one replica of ``cb``."""
+        key = (cb.name, ridx)
+        plan = self._plans.get(key)
+        if plan is None:
+            placed = cb.placement.replicas[ridx]
+            plan = build_exec_plan(
+                cb.dfg, placed.unit_of, placed.edge_hops, self.params,
+                self.config.op_latency,
+            )
+            self._plans[key] = plan
+        return plan
 
     # ------------------------------------------------------------------
     def _run_thread(
         self,
-        dfg: BlockDFG,
-        order: List[int],
-        sinks: List[int],
-        placed,
+        plan: ExecPlan,
         rep: _ReplicaState,
         tid: int,
         inject: float,
     ) -> Tuple[ThreadOutcome, float]:
-        config = self.config
-        done: Dict[int, float] = {}
-        value: Dict[int, Number] = {}
+        """Interpret one thread over a precompiled plan.
+
+        Hot loop: ``done`` / ``value`` are flat lists indexed by node
+        ID, operand sources are pre-resolved ``(mode, payload)`` pairs,
+        and the frequently used bound methods are hoisted to locals.
+        The arithmetic (the ``max`` over input arrivals, the issue /
+        latency sums) is exactly the direct walk's, in the same order,
+        so cycle counts are bit-identical.
+        """
+        n = plan.n_nodes
+        done: List[float] = [0.0] * n
+        value: List[Number] = [None] * n
         next_block: Optional[str] = None
-        stats = self.stats
         faults = self.faults
+        block_name = plan.block_name
 
-        def src_value(src) -> Number:
-            if isinstance(src, NodeSrc):
-                return value[src.node]
-            if isinstance(src, ImmSrc):
-                return src.value
-            if isinstance(src, ParamSrc):
-                return self.params[src.name]
-            return tid  # TidSrc
+        issue = rep.issue
+        issue_mem = rep.issue_mem
+        issue_scu = rep.issue_scu
+        retire_mem = rep.retire_mem
+        entries = self.config.ldst_reservation_entries
+        lvc_access = self.lvc.access
+        mem_access = self.memsys.access_word
+        mem_read = self.memory.read
+        mem_write = self.memory.write
+        lv_values = self.lv_values
 
-        for nid in order:
-            node = dfg.node(nid)
-            uid = placed.unit_of[nid]
+        for row in plan.rows:
+            tag = row[0]
+            if tag == T_INIT:
+                nid = row[1]
+                done[nid] = inject
+                value[nid] = tid
+                continue
+            nid = row[1]
+            uid = row[2]
             # Arrival of the latest input token.  A producer's switch
             # replicates one token to all of its (fanout-bounded, see
             # the compiler's split insertion) consumers in the same
             # cycle, so delivery costs only the routed hop latency.
             ready = inject
-            for up in node.input_nodes():
-                ready = max(ready, done[up] + placed.edge_hops[(up, nid)])
+            for up, hop in row[3]:
+                t = done[up] + hop
+                if t > ready:
+                    ready = t
 
-            kind = node.kind
-            if kind is NodeKind.INIT:
-                done[nid] = inject
-                value[nid] = tid
-            elif kind is NodeKind.LVLOAD:
-                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
-                completion = self.lvc.access(
-                    start, node.lv_id, tid, False, port=uid
-                )
-                rep.retire_mem(uid, completion)
-                done[nid] = completion
-                try:
-                    lv_value = self.lv_values[(node.lv_id, tid)]
-                except KeyError:
-                    raise SimulationError(
-                        f"thread {tid} fetches live value {node.lv_id} "
-                        f"(%{node.out_reg}) before any block stored it",
-                        block=dfg.block_name,
-                        thread=tid,
-                        live_value=node.lv_id,
-                    ) from None
-                if faults is not None:
-                    lv_value = faults.corrupt_lv(
-                        node.lv_id, tid, completion, lv_value
-                    )
-                value[nid] = lv_value
-            elif kind is NodeKind.LVSTORE:
-                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
-                completion = self.lvc.access(
-                    start, node.lv_id, tid, True, port=uid
-                )
-                rep.retire_mem(uid, completion)
-                done[nid] = completion
-                self.lv_values[(node.lv_id, tid)] = src_value(node.srcs[0])
-            elif kind is NodeKind.LOAD:
-                addr = int(src_value(node.srcs[0]))
-                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
-                completion = self.memsys.access_word(start, addr, False)
-                rep.retire_mem(uid, completion)
-                done[nid] = completion
-                raw = self.memory.read(addr)
-                value[nid] = int(raw) if node.dtype is DType.INT else raw
-            elif kind is NodeKind.STORE:
-                addr = int(src_value(node.srcs[0]))
-                start = rep.issue_mem(uid, ready, config.ldst_reservation_entries)
-                completion = self.memsys.access_word(start, addr, True)
-                rep.retire_mem(uid, completion)
-                done[nid] = completion
-                self.memory.write(addr, src_value(node.srcs[1]))
-            elif kind is NodeKind.TERM:
-                start = rep.issue(uid, ready)
-                done[nid] = start + 1.0
-                next_block = self._resolve_target(dfg, node, src_value)
-            elif kind in (NodeKind.SPLIT, NodeKind.JOIN):
-                start = rep.issue(uid, ready)
-                done[nid] = start + config.op_latency["split"]
-                if kind is NodeKind.SPLIT:
-                    value[nid] = src_value(node.srcs[0])
-            else:  # OP
-                latency = op_latency_for(node.op, config.op_latency)
-                if node.unit_kind is UnitKind.SPECIAL:
-                    start = rep.issue_scu(uid, ready, latency)
-                else:
-                    start = rep.issue(uid, ready)
-                done[nid] = start + latency
-                args = [src_value(s) for s in node.srcs]
-                result = EVAL[node.op](*args)
-                if node.dtype is DType.INT:
+            if tag == T_OP:
+                start = issue(uid, ready)
+                done[nid] = start + row[4]
+                args = [
+                    p if m == 0 else value[p] if m == 1 else tid
+                    for m, p in row[6]
+                ]
+                result = row[5](*args)
+                dt = row[7]
+                if dt == 1:
                     result = int(result)
-                elif node.dtype is DType.FLOAT:
+                elif dt == 2:
                     result = float(result)
                 if faults is not None:
                     result = faults.corrupt_token(
-                        dfg.block_name, uid, tid, start, result
+                        block_name, uid, tid, start, result
                     )
                 value[nid] = result
+            elif tag == T_LOAD:
+                m, p = row[4]
+                addr = int(p if m == 0 else value[p] if m == 1 else tid)
+                start = issue_mem(uid, ready, entries)
+                completion = mem_access(start, addr, False)
+                retire_mem(uid, completion)
+                done[nid] = completion
+                raw = mem_read(addr)
+                value[nid] = int(raw) if row[5] else raw
+            elif tag == T_STORE:
+                m, p = row[4]
+                addr = int(p if m == 0 else value[p] if m == 1 else tid)
+                start = issue_mem(uid, ready, entries)
+                completion = mem_access(start, addr, True)
+                retire_mem(uid, completion)
+                done[nid] = completion
+                m, p = row[5]
+                mem_write(addr, p if m == 0 else value[p] if m == 1 else tid)
+            elif tag == T_LVLOAD:
+                lv_id = row[4]
+                start = issue_mem(uid, ready, entries)
+                completion = lvc_access(start, lv_id, tid, False, port=uid)
+                retire_mem(uid, completion)
+                done[nid] = completion
+                try:
+                    lv_value = lv_values[(lv_id, tid)]
+                except KeyError:
+                    raise SimulationError(
+                        f"thread {tid} fetches live value {lv_id} "
+                        f"(%{row[5].out_reg}) before any block stored it",
+                        block=block_name,
+                        thread=tid,
+                        live_value=lv_id,
+                    ) from None
+                if faults is not None:
+                    lv_value = faults.corrupt_lv(
+                        lv_id, tid, completion, lv_value
+                    )
+                value[nid] = lv_value
+            elif tag == T_LVSTORE:
+                lv_id = row[4]
+                start = issue_mem(uid, ready, entries)
+                completion = lvc_access(start, lv_id, tid, True, port=uid)
+                retire_mem(uid, completion)
+                done[nid] = completion
+                m, p = row[5]
+                lv_values[(lv_id, tid)] = (
+                    p if m == 0 else value[p] if m == 1 else tid
+                )
+            elif tag == T_SCU:
+                start = issue_scu(uid, ready, row[4])
+                done[nid] = start + row[4]
+                args = [
+                    p if m == 0 else value[p] if m == 1 else tid
+                    for m, p in row[6]
+                ]
+                result = row[5](*args)
+                dt = row[7]
+                if dt == 1:
+                    result = int(result)
+                elif dt == 2:
+                    result = float(result)
+                if faults is not None:
+                    result = faults.corrupt_token(
+                        block_name, uid, tid, start, result
+                    )
+                value[nid] = result
+            elif tag == T_SJ:
+                start = issue(uid, ready)
+                done[nid] = start + row[4]
+                if row[5] is not None:
+                    m, p = row[5]
+                    value[nid] = (
+                        p if m == 0 else value[p] if m == 1 else tid
+                    )
+            else:  # T_TERM
+                start = issue(uid, ready)
+                done[nid] = start + 1.0
+                kind = plan.term_kind
+                if kind is TermKind.RET:
+                    next_block = None
+                elif kind is TermKind.JMP:
+                    next_block = plan.true_target
+                else:
+                    m, p = row[4]
+                    taken = bool(
+                        p if m == 0 else value[p] if m == 1 else tid
+                    )
+                    next_block = (
+                        plan.true_target if taken else plan.false_target
+                    )
 
-            stats.node_fires += 1
-            stats.tokens += 1
-            stats.ops[_op_energy_class(node, node.op)] += 1
-            for up in node.input_nodes():
-                stats.token_hops += placed.edge_hops[(up, nid)]
-
-        completion = max(done[s] for s in sinks)
+        completion = max(done[s] for s in plan.sinks)
         return ThreadOutcome(tid, next_block, completion), completion
-
-    @staticmethod
-    def _resolve_target(dfg: BlockDFG, node, src_value) -> Optional[str]:
-        if dfg.term_kind is TermKind.RET:
-            return None
-        if dfg.term_kind is TermKind.JMP:
-            return dfg.true_target
-        taken = bool(src_value(node.srcs[0]))
-        return dfg.true_target if taken else dfg.false_target

@@ -1,0 +1,194 @@
+"""Compile-cache correctness: content keys, disk tier, fall-backs.
+
+The cache's contract (``repro/compiler/cache.py``, ``docs/performance.md``):
+keys are content hashes over (IR text, config repr, options, version),
+so any change to the kernel or the architecture invalidates; the disk
+tier can only ever cost a recompile, never correctness.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.arch import FabricSpec, UnitKind
+from repro.compiler import (
+    CompileCache,
+    cached_compile_kernel,
+    cached_map_kernel,
+    cached_optimize_kernel,
+    kernel_fingerprint,
+)
+from repro.ir import KernelBuilder
+from repro.obs import Metrics
+from repro.sgmf.mapping import SGMFUnmappableError
+
+
+def make_kernel(scale_by=2.0, name="cachetest"):
+    kb = KernelBuilder(name, params=["x", "out", "n"])
+    i = kb.tid()
+    with kb.if_(i < kb.param("n")):
+        kb.store(kb.param("out") + i, kb.load(kb.param("x") + i) * scale_by)
+    return kb.build()
+
+
+def small_spec():
+    return FabricSpec(width=9, height=6, counts={
+        UnitKind.COMPUTE: 16, UnitKind.SPECIAL: 6, UnitKind.LDST: 8,
+        UnitKind.LVU: 8, UnitKind.SJU: 8, UnitKind.CVU: 8,
+    })
+
+
+# ----------------------------------------------------------------------
+# Content keys
+# ----------------------------------------------------------------------
+def test_fingerprint_tracks_ir_content():
+    assert kernel_fingerprint(make_kernel()) == kernel_fingerprint(make_kernel())
+    assert (kernel_fingerprint(make_kernel(scale_by=2.0))
+            != kernel_fingerprint(make_kernel(scale_by=3.0)))
+
+
+def test_compile_hits_on_identical_kernel_and_spec():
+    cache = CompileCache()
+    k = make_kernel()
+    first = cached_compile_kernel(k, cache=cache)
+    again = cached_compile_kernel(make_kernel(), cache=cache)
+    assert again is first  # same IR content -> same entry
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_ir_change_invalidates():
+    cache = CompileCache()
+    cached_compile_kernel(make_kernel(scale_by=2.0), cache=cache)
+    cached_compile_kernel(make_kernel(scale_by=3.0), cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+
+
+def test_arch_config_change_invalidates():
+    cache = CompileCache()
+    k = make_kernel()
+    default = cached_compile_kernel(k, cache=cache)
+    other = cached_compile_kernel(k, small_spec(), cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+    assert other is not default
+
+
+def test_compile_options_participate_in_key():
+    cache = CompileCache()
+    k = make_kernel()
+    cached_compile_kernel(k, cache=cache, replicate=True)
+    cached_compile_kernel(k, cache=cache, replicate=False)
+    assert cache.misses == 2
+
+
+def test_optimize_params_participate_in_key():
+    cache = CompileCache()
+    k = make_kernel()
+    a = cached_optimize_kernel(k, params={"n": 64}, cache=cache)
+    b = cached_optimize_kernel(k, params={"n": 128}, cache=cache)
+    assert cache.misses == 2
+    c = cached_optimize_kernel(k, params={"n": 64}, cache=cache)
+    assert c is a and cache.hits == 1
+    assert b is not a
+
+
+def test_cache_none_is_passthrough():
+    k = make_kernel()
+    compiled = cached_compile_kernel(k, cache=None)
+    assert compiled.kernel.name == k.name
+
+
+def test_unmappable_result_is_cached():
+    # A kernel too big for a tiny fabric: the capacity proof is cached
+    # as a sentinel and re-raised, not re-derived.
+    spec = FabricSpec(width=3, height=3, counts={
+        UnitKind.COMPUTE: 3, UnitKind.SPECIAL: 1, UnitKind.LDST: 2,
+        UnitKind.LVU: 1, UnitKind.SJU: 1, UnitKind.CVU: 1,
+    })
+    cache = CompileCache()
+    k = make_kernel()
+    with pytest.raises(SGMFUnmappableError):
+        cached_map_kernel(k, spec, cache=cache)
+    with pytest.raises(SGMFUnmappableError):
+        cached_map_kernel(k, spec, cache=cache)
+    assert cache.misses == 1 and cache.hits == 1
+
+
+# ----------------------------------------------------------------------
+# Disk tier
+# ----------------------------------------------------------------------
+def test_disk_tier_round_trip(tmp_path):
+    k = make_kernel()
+    first = CompileCache(str(tmp_path))
+    compiled = cached_compile_kernel(k, cache=first)
+    assert first.disk_writes >= 1
+
+    fresh = CompileCache(str(tmp_path))  # new process, same directory
+    again = cached_compile_kernel(make_kernel(), cache=fresh)
+    assert fresh.disk_hits == 1 and fresh.misses == 0
+    assert again.kernel.name == compiled.kernel.name
+    assert sorted(again.blocks) == sorted(compiled.blocks)
+    assert again.n_blocks == compiled.n_blocks
+
+
+def test_corrupt_disk_entry_falls_back_to_recompile(tmp_path):
+    k = make_kernel()
+    cached_compile_kernel(k, cache=CompileCache(str(tmp_path)))
+    entries = [p for p in os.listdir(tmp_path) if p.endswith(".pkl")]
+    assert entries
+    for entry in entries:  # truncate/garble every pickle
+        with open(os.path.join(tmp_path, entry), "wb") as fh:
+            fh.write(b"\x80corrupt")
+
+    fresh = CompileCache(str(tmp_path))
+    compiled = cached_compile_kernel(make_kernel(), cache=fresh)
+    assert compiled.kernel.name == k.name       # correct result anyway
+    assert fresh.disk_errors >= 1               # corruption was counted
+    assert fresh.misses == 1 and fresh.disk_hits == 0
+
+
+def test_stale_schema_version_misses(tmp_path, monkeypatch):
+    import repro.compiler.cache as cache_mod
+
+    k = make_kernel()
+    cached_compile_kernel(k, cache=CompileCache(str(tmp_path)))
+    monkeypatch.setattr(cache_mod, "CACHE_VERSION", cache_mod.CACHE_VERSION + 1)
+    fresh = cache_mod.CompileCache(str(tmp_path))
+    cache_mod.cached_compile_kernel(make_kernel(), cache=fresh)
+    # The version participates in the key, so the old entry is unseen.
+    assert fresh.misses == 1 and fresh.disk_hits == 0
+
+
+def test_unpicklable_payload_degrades_to_memory(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    value = cache.get_or_build("adhoc", cache.make_key("adhoc", "k"),
+                               lambda: lambda: 1)  # lambdas don't pickle
+    assert callable(value)
+    assert cache.disk_errors == 1
+    # ...but the in-memory tier still serves it.
+    again = cache.get_or_build("adhoc", cache.make_key("adhoc", "k"),
+                               lambda: None)
+    assert again is value
+
+
+# ----------------------------------------------------------------------
+# Introspection / merging
+# ----------------------------------------------------------------------
+def test_record_metrics_publishes_compile_scope():
+    cache = CompileCache()
+    cached_compile_kernel(make_kernel(), cache=cache)
+    cached_compile_kernel(make_kernel(), cache=cache)
+    metrics = Metrics()
+    cache.record_metrics(metrics)
+    assert metrics.value("compile/cache.hits") == 1
+    assert metrics.value("compile/cache.misses") == 1
+    assert metrics.value("compile/cache.entries") == 1
+
+
+def test_merge_stats_folds_worker_counters():
+    parent, worker = CompileCache(), CompileCache()
+    cached_compile_kernel(make_kernel(), cache=worker)
+    cached_compile_kernel(make_kernel(), cache=worker)
+    parent.merge_stats(worker.stats())
+    assert parent.hits == 1 and parent.misses == 1

@@ -1,0 +1,97 @@
+"""Docs-as-tests: every fenced ``python`` block in the docs must run.
+
+The documentation's code blocks are executable specifications, not
+decoration — when an API drifts, its docs must fail CI.  This module
+extracts every ```` ```python ```` fenced block from ``README.md`` and
+``docs/*.md`` and executes them.
+
+Semantics:
+
+* Blocks within one file run **in order, in one shared namespace** —
+  docs are narratives, and later blocks legitimately build on earlier
+  ones (the README's host-API block reuses the quickstart's kernel).
+* Each file executes in a **temporary working directory**, so blocks
+  that write artifacts (``tracer.dump("trace.json")``) stay hermetic.
+* Non-``python`` fences (``bash``, plain CLI transcripts) are ignored
+  here; the CI workflow smoke-tests the CLI lines separately.
+* Failures carry the markdown file name and the block's first line
+  number, so a drifted doc is a one-click fix.
+
+Keep doc blocks cheap: this file is part of tier-1, so a block that
+sweeps the full suite at ``--scale small`` belongs in prose or in
+``benchmarks/``, not in a fence.
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+
+def extract_python_blocks(path: Path) -> List[Tuple[int, str]]:
+    """``(first_line_number, source)`` for every ```` ```python ````
+    fence in ``path`` (fence lines excluded)."""
+    blocks: List[Tuple[int, str]] = []
+    in_block = False
+    start = 0
+    buf: List[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if not in_block and stripped == "```python":
+            in_block, start, buf = True, lineno + 1, []
+        elif in_block and stripped == "```":
+            in_block = False
+            blocks.append((start, "\n".join(buf)))
+        elif in_block:
+            buf.append(line)
+    assert not in_block, f"{path.name}: unterminated ```python fence"
+    return blocks
+
+
+def _params():
+    for path in DOC_FILES:
+        blocks = extract_python_blocks(path)
+        if blocks:
+            yield pytest.param(path, blocks, id=str(path.relative_to(ROOT)))
+
+
+def test_docs_were_scanned():
+    """The collector sees the doc set (guards against a silent rename
+    emptying the parametrisation)."""
+    names = {p.name for p in DOC_FILES}
+    assert "README.md" in names
+    for expected in ("observability.md", "performance.md", "resilience.md",
+                     "api.md", "extending.md"):
+        assert expected in names, f"docs/{expected} disappeared"
+    assert any(extract_python_blocks(p) for p in DOC_FILES)
+
+
+@pytest.mark.parametrize("path,blocks", list(_params()))
+def test_doc_python_blocks_execute(path, blocks, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # artifact writes stay out of the repo
+    namespace: dict = {"__name__": f"docsnippet_{path.stem}"}
+    for lineno, source in blocks:
+        try:
+            code = compile(source, f"{path}:{lineno}", "exec")
+        except SyntaxError as exc:
+            pytest.fail(
+                f"{path.relative_to(ROOT)} block at line {lineno} does not "
+                f"parse: {exc}"
+            )
+        stdout = io.StringIO()
+        try:
+            with redirect_stdout(stdout):
+                exec(code, namespace)  # noqa: S102 — that's the point
+        except Exception as exc:  # noqa: BLE001 — report with location
+            pytest.fail(
+                f"{path.relative_to(ROOT)} block at line {lineno} raised "
+                f"{type(exc).__name__}: {exc}"
+            )
