@@ -1,0 +1,66 @@
+"""Differential kernel fuzzing for the four execution substrates.
+
+Every number the evaluation harness produces is only meaningful if the
+reference interpreter, the Fermi SM, the SGMF core and the VGIW MT-CGRF
+implement *identical* kernel semantics.  This package systematically
+hunts for silent divergences:
+
+* :mod:`repro.fuzz.generate` — a seeded structured kernel generator
+  that emits arbitrary-but-valid CFGs through the
+  :class:`~repro.ir.builder.KernelBuilder` DSL (nested divergent
+  branches, data-dependent loop trip counts, mixed int/float
+  arithmetic, coalesced and scattered memory traffic) together with a
+  deterministic memory image and launch parameters;
+* :mod:`repro.fuzz.oracle` — the differential oracle: run a case on
+  the interpreter (golden) and every registered engine, compare final
+  memory images word-for-word, and classify mismatches (wrong value /
+  missing store / compile failure / watchdog hang / miscompile);
+* :mod:`repro.fuzz.reduce` — a delta-debugging reducer that shrinks a
+  failing kernel to a minimal reproducer while re-checking the oracle;
+* :mod:`repro.fuzz.corpus` — ``.kir`` reproducer files (kernel text
+  via :mod:`repro.ir.text` plus launch directives) committed under
+  ``tests/corpus/`` so found bugs stay fixed;
+* :mod:`repro.fuzz.campaign` — campaign orchestration with
+  ``--jobs`` process fan-out and deterministic summary JSON, exposed
+  as ``python -m repro.fuzz``.
+
+See ``docs/fuzzing.md`` for the generator grammar, the oracle's
+classification lattice, the reducer algorithm, and a triage guide.
+"""
+
+from repro.fuzz.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.fuzz.corpus import (
+    ReplayCase,
+    load_corpus_case,
+    load_corpus_dir,
+    save_corpus_case,
+)
+from repro.fuzz.generate import FuzzCase, GenConfig, generate_case
+from repro.fuzz.oracle import (
+    CaseReport,
+    EngineOutcome,
+    ImageDiff,
+    compare_images,
+    run_case,
+)
+from repro.fuzz.reduce import reduce_case, reduce_kernel
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CaseReport",
+    "EngineOutcome",
+    "FuzzCase",
+    "GenConfig",
+    "ImageDiff",
+    "ReplayCase",
+    "compare_images",
+    "generate_case",
+    "load_corpus_case",
+    "load_corpus_dir",
+    "reduce_case",
+    "reduce_kernel",
+    "run_campaign",
+    "run_case",
+    "save_corpus_case",
+]

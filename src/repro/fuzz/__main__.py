@@ -1,0 +1,119 @@
+"""``python -m repro.fuzz`` — run a differential fuzz campaign.
+
+Examples::
+
+    # CI smoke: 25 cases, hard two-minute ceiling, fail on divergence
+    python -m repro.fuzz --seed 0 --count 25 --time-budget 120
+
+    # Overnight: four workers, reproducers land in tests/corpus/
+    python -m repro.fuzz --seed 1 --count 5000 --jobs 4 \
+        --corpus-dir tests/corpus --out campaign.json
+
+Exit status: 0 when every case is clean (or benignly unmappable on
+SGMF), 1 when any divergence was found.  The summary JSON is
+deterministic for a given ``--seed``/``--count`` — byte-identical
+across ``--jobs`` settings — so it can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+from repro.fuzz.generate import GenConfig
+from repro.fuzz.oracle import DEFAULT_ENGINES
+from repro.obs import Metrics
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential kernel fuzzing across the four "
+                    "execution substrates.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master campaign seed (default 0)")
+    parser.add_argument("--count", type=int, default=100,
+                        help="number of cases to run (default 100)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock ceiling; remaining cases are "
+                             "skipped (default unbounded)")
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_ENGINES),
+                        metavar="ENGINE",
+                        help=f"engines to exercise "
+                             f"(default {' '.join(DEFAULT_ENGINES)})")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the summary JSON here")
+    parser.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="write reduced reproducers (.kir) here")
+    parser.add_argument("--no-reduce", action="store_true",
+                        help="skip delta-debugging reduction")
+    parser.add_argument("--max-threads", type=int, default=None,
+                        help="generator: cap launch widths")
+    parser.add_argument("--max-depth", type=int, default=None,
+                        help="generator: cap control-flow nesting")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-case progress lines")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    gen_kwargs = {}
+    if args.max_threads is not None:
+        gen_kwargs["max_threads"] = args.max_threads
+    if args.max_depth is not None:
+        gen_kwargs["max_depth"] = args.max_depth
+    config = CampaignConfig(
+        seed=args.seed,
+        count=args.count,
+        jobs=args.jobs,
+        time_budget=args.time_budget,
+        engines=tuple(args.engines),
+        gen=GenConfig(**gen_kwargs),
+        reduce=not args.no_reduce,
+        corpus_dir=args.corpus_dir,
+    )
+
+    def progress(index, report):
+        if args.quiet:
+            return
+        verdict = ("DIVERGENT " + ",".join(report.divergent_engines)
+                   if report.divergent else "ok")
+        print(f"[{index + 1:>4}/{config.count}] seed={report.seed:012x} "
+              f"blocks={report.n_blocks:<3} instrs={report.n_instrs:<4} "
+              f"{verdict}")
+
+    metrics = Metrics()
+    result = run_campaign(config, metrics=metrics, progress=progress)
+    summary = result.summary()
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary written to {args.out}")
+
+    print(f"processed {summary['processed']}/{config.count} cases "
+          f"({summary['skipped']} skipped by budget)")
+    print(f"outcomes: {summary['status_counts']}")
+    if result.reproducers:
+        for name, path in result.reproducers.items():
+            print(f"reproducer: {path}")
+    if summary["divergent_count"]:
+        print(f"FAIL: {summary['divergent_count']} divergent case(s)",
+              file=sys.stderr)
+        return 1
+    print("OK: no divergences")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,445 @@
+"""Seeded structured kernel generator.
+
+``generate_case(seed)`` deterministically produces a :class:`FuzzCase`:
+an arbitrary-but-valid kernel built through the
+:class:`~repro.ir.builder.KernelBuilder` DSL, a launch-parameter
+assignment, and a deterministic initial memory image.  The same seed
+always yields the byte-identical case, in any process (no dependence on
+hash randomisation: the generator draws only from ``random.Random`` and
+indexes lists, never sets or dicts).
+
+Generated kernels exercise, by construction:
+
+* **nested divergent control flow** — ``if``/``if-else`` regions keyed
+  on data-dependent predicates, nested up to ``max_depth``;
+* **loops with data-dependent trip counts** — counted ``for_range``
+  loops and condition-tested ``while`` loops whose bounds derive from
+  loaded data or parameters, masked so every loop terminates;
+* **mixed int/float arithmetic** including the SCU ops (``DIV``,
+  ``REM``, ``FDIV``, ``FSQRT``, ...) whose edge cases are pinned in
+  :mod:`repro.ir.instr`, and ``I2F``/``F2I`` conversions;
+* **cross-block live values** — mutable variables initialised in the
+  entry block and reassigned inside divergent arms and loop bodies,
+  stressing liveness analysis, LVU placement, and replication;
+* **coalesced and scattered memory traffic** — loads from a shared
+  read-only input region (stride-1 or data-dependent scatter) and
+  stores into a per-thread output stripe or a coalesced slot layout.
+
+Safety invariants (what makes every generated kernel a *valid*
+differential testcase rather than UB soup):
+
+* every load address lands in the read-only input region (power-of-two
+  masked), so no thread ever observes another thread's stores — final
+  memory is independent of thread interleaving and the sequential
+  interpreter is a sound golden model;
+* every store address lands in the storing thread's private output
+  stripe or its private coalesced slots — no data races;
+* loop trip counts are masked to small bounds, so every kernel
+  terminates on every input;
+* integer values are masked at assignment/store boundaries, so values
+  stay within the float64-exact range the memory image can hold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.builder import KernelBuilder, Val
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType
+from repro.memory.image import MemoryImage
+
+__all__ = ["FuzzCase", "GenConfig", "generate_case"]
+
+#: mask applied to loop-carried variables and integer store values so
+#: values stay exactly representable in the float64 memory image.
+_VAR_MASK = 0xFFFFFFFF          # 32-bit
+_STORE_MASK = 0xFFFFFFFFFFF     # 44-bit (< 2**53, float64-exact)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size knobs of the generator (all bounds, not exact sizes —
+    each case draws its own dimensions below these caps)."""
+
+    #: launch width cap (cases draw 1..max_threads threads)
+    max_threads: int = 12
+    #: maximum nesting depth of if/loop regions
+    max_depth: int = 3
+    #: maximum statements per region body
+    max_stmts: int = 5
+    #: maximum straight-line arithmetic instructions per statement
+    max_exprs: int = 3
+    #: cross-block mutable int variables (live values)
+    max_vars: int = 4
+    #: words in the shared read-only input region (power of two)
+    input_words: int = 64
+    #: words in each thread's private output stripe (power of two)
+    stripe_words: int = 8
+    #: loop trip counts are masked to [0, trip_mask]
+    trip_mask: int = 7
+    #: allow loop regions at all
+    allow_loops: bool = True
+    #: allow SCU opcodes (DIV/REM/FDIV/FSQRT/FEXP/...)
+    allow_special: bool = True
+
+    def __post_init__(self):
+        for name in ("input_words", "stripe_words"):
+            v = getattr(self, name)
+            if v & (v - 1) or v <= 0:
+                raise ValueError(f"{name} must be a power of two, got {v}")
+
+
+@dataclass
+class FuzzCase:
+    """One differential testcase: kernel + launch + initial memory."""
+
+    seed: int
+    kernel: Kernel
+    params: Dict[str, float]
+    n_threads: int
+    mem_words: int
+    input_base: int
+    input_values: Tuple[float, ...]
+    config: GenConfig = field(default_factory=GenConfig)
+
+    def build_memory(self) -> MemoryImage:
+        """A fresh initial memory image (call once per substrate)."""
+        mem = MemoryImage(self.mem_words)
+        if self.input_values:
+            mem.write_block(self.input_base, list(self.input_values))
+        return mem
+
+    def with_kernel(self, kernel: Kernel) -> "FuzzCase":
+        """The same case running a different (e.g. reduced) kernel."""
+        return replace(self, kernel=kernel)
+
+    def with_threads(self, n_threads: int) -> "FuzzCase":
+        """The same case at a different launch width (``n`` tracks it —
+        the coalesced slot layout is keyed on the launch width)."""
+        params = dict(self.params)
+        params["n"] = n_threads
+        return replace(self, n_threads=n_threads, params=params)
+
+
+# ----------------------------------------------------------------------
+# Generator internals
+# ----------------------------------------------------------------------
+class _Gen:
+    """Holds the builder, the RNG, and the scoped value pools."""
+
+    def __init__(self, rng: random.Random, kb: KernelBuilder,
+                 cfg: GenConfig, n_threads: int):
+        self.rng = rng
+        self.kb = kb
+        self.cfg = cfg
+        self.n_threads = n_threads
+        self.ints: List[Val] = []
+        self.floats: List[Val] = []
+        self.preds: List[Val] = []
+        self.vars: List[Val] = []      # mutable int vars (stable handles)
+        self.fvars: List[Val] = []     # mutable float vars
+        self.n_stores = 0
+        self.loop_counter = 0
+
+    # -- pools ----------------------------------------------------------
+    def int_val(self) -> Val:
+        return self.rng.choice(self.ints)
+
+    def float_val(self) -> Val:
+        return self.rng.choice(self.floats)
+
+    def pred_val(self) -> Val:
+        if self.preds and self.rng.random() < 0.6:
+            return self.rng.choice(self.preds)
+        return self.gen_pred()
+
+    def _snapshot(self):
+        return (len(self.ints), len(self.floats), len(self.preds))
+
+    def _restore(self, snap):
+        ni, nf, np_ = snap
+        del self.ints[ni:]
+        del self.floats[nf:]
+        del self.preds[np_:]
+
+    # -- expressions ----------------------------------------------------
+    def gen_int(self) -> Val:
+        kb, rng = self.kb, self.rng
+        a = self.int_val()
+        kind = rng.randrange(14 if self.cfg.allow_special else 11)
+        if kind == 0:
+            v = a + self.int_val()
+        elif kind == 1:
+            v = a - self.int_val()
+        elif kind == 2:
+            v = a * self.int_val()
+        elif kind == 3:
+            v = a & self.int_val()
+        elif kind == 4:
+            v = a | self.int_val()
+        elif kind == 5:
+            v = a ^ self.int_val()
+        elif kind == 6:
+            v = a << rng.randint(0, 70)   # out-of-range on purpose
+        elif kind == 7:
+            v = a >> rng.randint(0, 70)
+        elif kind == 8:
+            v = kb.min_(a, self.int_val())
+        elif kind == 9:
+            v = kb.max_(a, self.int_val())
+        elif kind == 10:
+            v = kb.f2i(self.float_val())
+        elif kind == 11:
+            v = a // self.int_val()       # divisor may be 0 (pinned)
+        elif kind == 12:
+            v = a % self.int_val()
+        else:
+            v = kb.select(self.pred_val(), a, self.int_val())
+        self.ints.append(v)
+        return v
+
+    def gen_float(self) -> Val:
+        kb, rng = self.kb, self.rng
+        a = self.float_val()
+        kind = rng.randrange(12 if self.cfg.allow_special else 6)
+        if kind == 0:
+            v = a + self.float_val()
+        elif kind == 1:
+            v = a - self.float_val()
+        elif kind == 2:
+            v = a * self.float_val()
+        elif kind == 3:
+            v = kb.fma(a, self.float_val(), self.float_val())
+        elif kind == 4:
+            v = kb.i2f(self.int_val())
+        elif kind == 5:
+            v = kb.select(self.pred_val(), a, self.float_val())
+        elif kind == 6:
+            v = a / self.float_val()      # divisor may be 0.0 (pinned)
+        elif kind == 7:
+            v = kb.sqrt(a)                # operand may be < 0 (pinned)
+        elif kind == 8:
+            v = kb.rsqrt(a)
+        elif kind == 9:
+            v = kb.log(kb.abs_(a))
+        elif kind == 10:
+            v = kb.sin(a) if rng.random() < 0.5 else kb.cos(a)
+        else:
+            v = kb.floor(a)
+        self.floats.append(v)
+        return v
+
+    def gen_pred(self) -> Val:
+        kb, rng = self.kb, self.rng
+        kind = rng.randrange(6)
+        if kind == 0:
+            v = self.int_val() < self.int_val()
+        elif kind == 1:
+            v = self.int_val() >= self.int_val()
+        elif kind == 2:
+            v = self.float_val() < self.float_val()
+        elif kind == 3:
+            v = self.int_val() == self.int_val()
+        elif kind == 4:
+            v = kb.not_(self.pred_val() if self.preds
+                        else (self.int_val() < self.int_val()))
+        else:
+            v = self.int_val() != self.int_val()
+        self.preds.append(v)
+        return v
+
+    # -- memory ---------------------------------------------------------
+    def gen_load(self) -> Val:
+        """Load from the shared read-only input region."""
+        kb, rng, cfg = self.kb, self.rng, self.cfg
+        base = kb.param("in_")
+        if rng.random() < 0.4:
+            addr = base + (kb.tid() & (cfg.input_words - 1))  # coalesced
+        else:
+            addr = base + (self.int_val() & (cfg.input_words - 1))
+        dtype = DType.FLOAT if rng.random() < 0.5 else DType.INT
+        v = kb.load(addr, dtype)
+        (self.floats if dtype is DType.FLOAT else self.ints).append(v)
+        return v
+
+    def gen_store(self) -> None:
+        """Store into the storing thread's private output words."""
+        kb, rng, cfg = self.kb, self.rng, self.cfg
+        out = kb.param("out")
+        if rng.random() < 0.5:
+            # Scattered within the thread's private stripe.
+            addr = (out + kb.tid() * cfg.stripe_words
+                    + (self.int_val() & (cfg.stripe_words - 1)))
+        else:
+            # Coalesced slot layout *above* every stripe: the stripes
+            # end at out + n*stripe_words, and slot s then covers
+            # [out + (stripe_words+s)*n, out + (stripe_words+s+1)*n).
+            # Thread t only touches offset t of a slot, so slots are
+            # race-free too, and the two families never overlap.
+            slot = rng.randrange(cfg.stripe_words)
+            addr = (out + kb.param("n") * (cfg.stripe_words + slot)
+                    + kb.tid())
+        if rng.random() < 0.5:
+            kb.store(addr, self.float_val())
+        else:
+            kb.store(addr, self.int_val() & _STORE_MASK)
+        self.n_stores += 1
+
+    # -- statements -----------------------------------------------------
+    def gen_assign(self) -> None:
+        kb, rng = self.kb, self.rng
+        if self.fvars and rng.random() < 0.3:
+            kb.assign(rng.choice(self.fvars), self.gen_float())
+        elif self.vars:
+            kb.assign(rng.choice(self.vars), self.gen_int() & _VAR_MASK)
+
+    def gen_if(self, depth: int) -> None:
+        kb = self.kb
+        cond = self.pred_val()
+        snap = self._snapshot()
+        with kb.if_(cond):
+            self.gen_region(depth + 1)
+        self._restore(snap)  # arm-local values must not leak across arms
+        if self.rng.random() < 0.5:
+            with kb.else_():
+                self.gen_region(depth + 1)
+            self._restore(snap)
+
+    def gen_for(self, depth: int) -> None:
+        kb, rng, cfg = self.kb, self.rng, self.cfg
+        self.loop_counter += 1
+        stop = self.int_val() & cfg.trip_mask   # data-dependent, bounded
+        name = f"i{self.loop_counter}"
+        snap = self._snapshot()
+        with kb.for_range(0, stop, name=name) as i:
+            self.ints.append(i)
+            self.gen_region(depth + 1)
+        self._restore(snap)
+
+    def gen_while(self, depth: int) -> None:
+        kb, rng, cfg = self.kb, self.rng, self.cfg
+        self.loop_counter += 1
+        bound = self.int_val() & cfg.trip_mask
+        c = kb.var(f"c{self.loop_counter}", 0)
+        snap = self._snapshot()
+        with kb.loop() as lp:
+            if rng.random() < 0.5:
+                lp.break_unless(c < bound)
+            else:
+                lp.break_if(c >= bound)
+            kb.assign(c, c + 1)
+            self.ints.append(c)
+            self.gen_region(depth + 1)
+        self._restore(snap)
+
+    def gen_region(self, depth: int) -> None:
+        rng, cfg = self.rng, self.cfg
+        n_stmts = rng.randint(1, cfg.max_stmts)
+        for _ in range(n_stmts):
+            snap = self._snapshot()
+            roll = rng.random()
+            if roll < 0.30:
+                for _ in range(rng.randint(1, cfg.max_exprs)):
+                    if rng.random() < 0.5:
+                        self.gen_int()
+                    else:
+                        self.gen_float()
+                continue  # keep the new values visible in this region
+            if roll < 0.45:
+                self.gen_load()
+                continue
+            if roll < 0.60:
+                self.gen_store()
+            elif roll < 0.75:
+                self.gen_assign()
+            elif depth < cfg.max_depth and roll < 0.88:
+                self.gen_if(depth)
+            elif depth < cfg.max_depth and cfg.allow_loops:
+                if rng.random() < 0.5:
+                    self.gen_for(depth)
+                else:
+                    self.gen_while(depth)
+            else:
+                self.gen_store()
+            self._restore(snap)
+
+
+def generate_case(seed: int, config: Optional[GenConfig] = None) -> FuzzCase:
+    """Deterministically generate the :class:`FuzzCase` for ``seed``."""
+    cfg = config or GenConfig()
+    rng = random.Random(seed)
+    n_threads = rng.randint(1, cfg.max_threads)
+
+    kb = KernelBuilder(f"fuzz_{seed & 0xFFFFFFFFFFFF:012x}",
+                       params=["in_", "out", "n", "k1", "k2", "f1"])
+    gen = _Gen(rng, kb, cfg, n_threads)
+
+    # Leaf values: tid, params, a few immediates.
+    gen.ints += [kb.tid(), kb.param("k1"), kb.param("k2"), kb.param("n")]
+    gen.ints += [kb.const(rng.randint(-8, 64)) for _ in range(3)]
+    gen.floats += [kb.fparam("f1")]
+    gen.floats += [kb.const(round(rng.uniform(-4.0, 4.0), 3))
+                   for _ in range(3)]
+
+    # Mutable cross-block live values, initialised in the entry block.
+    n_vars = rng.randint(1, cfg.max_vars)
+    for v in range(n_vars):
+        gen.vars.append(kb.var(f"v{v}", gen.gen_int() & _VAR_MASK))
+    if rng.random() < 0.7:
+        gen.fvars.append(kb.var("w0", gen.gen_float()))
+    gen.ints += gen.vars
+    gen.floats += gen.fvars
+
+    # The body.
+    gen.gen_region(0)
+
+    # Checksum epilogue: fold every live variable into the stripe so
+    # divergence in *any* live value is observable in final memory.
+    acc = kb.const(0)
+    for v in gen.vars:
+        acc = acc ^ v
+    kb.store(kb.param("out") + kb.tid() * cfg.stripe_words,
+             acc & _STORE_MASK)
+    for w in gen.fvars:
+        kb.store(kb.param("out") + kb.tid() * cfg.stripe_words + 1, w)
+    gen.n_stores += 1
+
+    kernel = kb.build()
+
+    # Deterministic memory image and launch parameters (independent RNG
+    # stream so structural tweaks don't reshuffle the data).
+    drng = random.Random((seed ^ 0x9E3779B97F4A7C15) & ((1 << 64) - 1))
+    input_values = tuple(
+        float(drng.randint(0, 255)) if drng.random() < 0.5
+        else round(drng.uniform(-16.0, 16.0), 4)
+        for _ in range(cfg.input_words)
+    )
+    input_base = 0
+    output_base = cfg.input_words
+    # Output region: n stripes of ``stripe_words`` followed by
+    # ``stripe_words`` coalesced slots of n words each — 2*S*n words,
+    # sized for the config maximum so ``with_threads`` stays in bounds.
+    mem_words = cfg.input_words + 2 * cfg.stripe_words * max(
+        n_threads, cfg.max_threads
+    ) + 16
+    params = {
+        "in_": input_base,
+        "out": output_base,
+        "n": n_threads,
+        "k1": drng.randint(-4, 100),
+        "k2": drng.randint(0, 7),
+        "f1": round(drng.uniform(-2.0, 2.0), 4),
+    }
+    return FuzzCase(
+        seed=seed,
+        kernel=kernel,
+        params=params,
+        n_threads=n_threads,
+        mem_words=mem_words,
+        input_base=input_base,
+        input_values=input_values,
+        config=cfg,
+    )

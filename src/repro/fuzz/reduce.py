@@ -1,0 +1,309 @@
+"""Delta-debugging reducer for failing fuzz cases.
+
+Given a kernel (or a whole :class:`~repro.fuzz.generate.FuzzCase`) and
+an *interestingness predicate* — "does this input still exhibit the
+bug?" — the reducer greedily shrinks the input while keeping the
+predicate true:
+
+1. **threads** — try the smallest launch widths first (a one-thread
+   reproducer rules out every cross-thread interaction at a glance);
+2. **blocks** — remove one basic block at a time, re-routing edges
+   through it (a ``jmp`` block is spliced out, a ``ret`` block turns
+   its predecessors' edges into returns, a ``br`` block collapses onto
+   its true edge), and collapse conditional branches to one side;
+3. **instructions** — classic ddmin over each block's instruction
+   list (delete contiguous chunks, halving the chunk size down to
+   single instructions), then a second sweep replacing each surviving
+   instruction with ``mov dst, #0`` of the matching dtype (which often
+   unlocks further chunk deletions);
+4. **clean-up** — :func:`~repro.compiler.optimize.eliminate_dead_code`
+   between rounds, accepted only if the predicate still holds (the bug
+   might live in DCE itself).
+
+Every candidate is validated with
+:func:`~repro.ir.validate.validate_kernel` before the predicate runs,
+so transformations that orphan a register definition are simply
+skipped.  The loop repeats until a full round changes nothing (or
+``max_rounds`` is hit), which makes the result 1-minimal with respect
+to the transformation vocabulary.  All candidate orders are
+deterministic, so reduction of the same case with the same predicate
+always yields the same reproducer.
+
+The predicate is arbitrary — the campaign passes "the oracle still
+reports a divergence for the same engine and status", the tests pass
+synthetic bug detectors — so the reducer never needs to know *why* a
+case is interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.compiler.optimize import eliminate_dead_code
+from repro.fuzz.generate import FuzzCase
+from repro.ir.block import BasicBlock
+from repro.ir.instr import Instr, Op, Terminator, TermKind
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType, Imm
+from repro.ir.validate import validate_kernel
+from repro.resilience.errors import ReproError
+
+__all__ = ["reduce_case", "reduce_kernel"]
+
+KernelPredicate = Callable[[Kernel], bool]
+CasePredicate = Callable[[FuzzCase], bool]
+
+
+# ----------------------------------------------------------------------
+# Kernel surgery helpers (all pure: inputs are never mutated)
+# ----------------------------------------------------------------------
+def _copy_block(block: BasicBlock) -> BasicBlock:
+    return BasicBlock(block.name, list(block.instrs), block.terminator)
+
+
+def _rebuild(kernel: Kernel, blocks: Dict[str, BasicBlock]) -> Kernel:
+    return Kernel(
+        name=kernel.name,
+        params=list(kernel.params),
+        blocks=blocks,
+        entry=kernel.entry,
+        param_dtypes=dict(kernel.param_dtypes),
+    )
+
+
+def _retarget(term: Terminator, removed: str,
+              replacement: Optional[str]) -> Terminator:
+    """Rewrite ``term`` so it no longer targets ``removed``.
+
+    ``replacement`` of ``None`` means the removed block returned: edges
+    into it become returns (``jmp`` → ``ret``; a ``br`` falls through
+    to its other side, or returns when both sides are gone).
+    """
+    if term.kind is TermKind.RET:
+        return term
+    if term.kind is TermKind.JMP:
+        if term.true_target != removed:
+            return term
+        return (Terminator.ret() if replacement is None
+                else Terminator.jmp(replacement))
+    # BR
+    t, f = term.true_target, term.false_target
+    if removed not in (t, f):
+        return term
+    if replacement is not None:
+        t = replacement if t == removed else t
+        f = replacement if f == removed else f
+        return Terminator.jmp(t) if t == f else Terminator.br(term.cond, t, f)
+    if t == removed and f == removed:
+        return Terminator.ret()
+    return Terminator.jmp(f if t == removed else t)
+
+
+def _without_block(kernel: Kernel, name: str) -> Optional[Kernel]:
+    """``kernel`` with block ``name`` removed and edges re-routed."""
+    if name == kernel.entry:
+        return None
+    victim = kernel.blocks[name].terminator
+    if victim.kind is TermKind.RET:
+        replacement: Optional[str] = None
+    else:  # JMP or BR: splice through to the (true) successor
+        replacement = victim.true_target
+        if replacement == name:  # self-loop; nothing to splice to
+            return None
+    blocks: Dict[str, BasicBlock] = {}
+    for bname, block in kernel.blocks.items():
+        if bname == name:
+            continue
+        new = _copy_block(block)
+        new.terminator = _retarget(block.terminator, name, replacement)
+        blocks[bname] = new
+    return _prune_unreachable(_rebuild(kernel, blocks))
+
+
+def _prune_unreachable(kernel: Kernel) -> Kernel:
+    """Drop blocks no longer reachable from the entry (the validator
+    rejects them, and edge rewiring routinely orphans whole regions)."""
+    seen = {kernel.entry}
+    stack = [kernel.entry]
+    while stack:
+        for succ in kernel.blocks[stack.pop()].successors():
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    if len(seen) == len(kernel.blocks):
+        return kernel
+    return _rebuild(
+        kernel, {b: blk for b, blk in kernel.blocks.items() if b in seen}
+    )
+
+
+def _with_terminator(kernel: Kernel, name: str, term: Terminator) -> Kernel:
+    blocks = {b: _copy_block(blk) for b, blk in kernel.blocks.items()}
+    blocks[name].terminator = term
+    return _prune_unreachable(_rebuild(kernel, blocks))
+
+
+def _without_instrs(kernel: Kernel, name: str, start: int, count: int) -> Kernel:
+    blocks = {b: _copy_block(blk) for b, blk in kernel.blocks.items()}
+    instrs = blocks[name].instrs
+    blocks[name].instrs = instrs[:start] + instrs[start + count:]
+    return _rebuild(kernel, blocks)
+
+
+_ZERO = {
+    DType.INT: Imm(0, DType.INT),
+    DType.FLOAT: Imm(0.0, DType.FLOAT),
+    DType.PRED: Imm(False, DType.PRED),
+}
+
+
+def _with_zeroed_instr(kernel: Kernel, name: str, index: int) -> Optional[Kernel]:
+    instr = kernel.blocks[name].instrs[index]
+    if instr.dst is None:
+        return None  # stores are deleted, not zeroed
+    dtype = instr.dtype or DType.INT
+    zero = _ZERO[dtype]
+    if instr.op is Op.MOV and instr.srcs == (zero,):
+        return None  # already minimal
+    blocks = {b: _copy_block(blk) for b, blk in kernel.blocks.items()}
+    instrs = list(blocks[name].instrs)
+    instrs[index] = Instr(Op.MOV, instr.dst, (zero,), dtype)
+    blocks[name].instrs = instrs
+    return _rebuild(kernel, blocks)
+
+
+# ----------------------------------------------------------------------
+# Reduction passes
+# ----------------------------------------------------------------------
+def _interesting(kernel: Kernel, predicate: KernelPredicate) -> bool:
+    """Validate, then consult the predicate; broken candidates and
+    predicate-raising candidates count as uninteresting."""
+    try:
+        validate_kernel(kernel)
+        return bool(predicate(kernel))
+    except ReproError:
+        return False
+
+
+def _pass_blocks(kernel: Kernel, predicate: KernelPredicate) -> Kernel:
+    changed = True
+    while changed:
+        changed = False
+        for name in list(kernel.blocks):
+            candidate = _without_block(kernel, name)
+            if candidate is not None and _interesting(candidate, predicate):
+                kernel = candidate
+                changed = True
+                break  # block list changed; restart the scan
+    # Collapse conditional branches onto one side.
+    for name in list(kernel.blocks):
+        if name not in kernel.blocks:  # pruned by an earlier collapse
+            continue
+        term = kernel.blocks[name].terminator
+        if term.kind is not TermKind.BR:
+            continue
+        for target in (term.true_target, term.false_target):
+            candidate = _with_terminator(kernel, name, Terminator.jmp(target))
+            if _interesting(candidate, predicate):
+                kernel = candidate
+                break
+    return kernel
+
+
+def _pass_instrs(kernel: Kernel, predicate: KernelPredicate) -> Kernel:
+    """ddmin chunk deletion over every block, then zero-replacement."""
+    for name in list(kernel.blocks):
+        n = len(kernel.blocks[name].instrs)
+        chunk = max(1, n // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(kernel.blocks[name].instrs):
+                count = min(chunk, len(kernel.blocks[name].instrs) - i)
+                candidate = _without_instrs(kernel, name, i, count)
+                if _interesting(candidate, predicate):
+                    kernel = candidate  # same index now holds new instrs
+                else:
+                    i += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+    for name in list(kernel.blocks):
+        i = 0
+        while i < len(kernel.blocks[name].instrs):
+            candidate = _with_zeroed_instr(kernel, name, i)
+            if candidate is not None and _interesting(candidate, predicate):
+                kernel = candidate
+            i += 1
+    return kernel
+
+
+def _fingerprint(kernel: Kernel) -> str:
+    from repro.ir.text import kernel_to_text
+
+    return kernel_to_text(kernel)
+
+
+def reduce_kernel(kernel: Kernel, predicate: KernelPredicate,
+                  max_rounds: int = 10) -> Kernel:
+    """Shrink ``kernel`` while ``predicate`` keeps returning True.
+
+    ``predicate(kernel)`` must be True for the input itself (otherwise
+    the input is returned unchanged) and is re-evaluated for every
+    candidate; the returned kernel is the smallest interesting kernel
+    the transformation vocabulary reaches, and is always valid.
+    """
+    if not _interesting(kernel, predicate):
+        return kernel
+    for _ in range(max_rounds):
+        before = _fingerprint(kernel)
+        kernel = _pass_blocks(kernel, predicate)
+        kernel = _pass_instrs(kernel, predicate)
+        cleaned = eliminate_dead_code(kernel)
+        if _fingerprint(cleaned) != before and _interesting(cleaned, predicate):
+            kernel = cleaned
+        if _fingerprint(kernel) == before:
+            break
+    return kernel
+
+
+def _thread_candidates(n: int) -> List[int]:
+    out: List[int] = []
+    for cand in (1, 2, 3, 4, n // 2):
+        if 0 < cand < n and cand not in out:
+            out.append(cand)
+    return out
+
+
+def reduce_case(case: FuzzCase, predicate: CasePredicate,
+                max_rounds: int = 10) -> FuzzCase:
+    """Shrink a whole fuzz case: launch width first, then the kernel.
+
+    ``predicate(case)`` is the case-level interestingness test (the
+    campaign closes it over the oracle).  Thread reduction is retried
+    after kernel reduction — a smaller kernel often reproduces with
+    fewer threads than the original needed.
+    """
+    def case_ok(c: FuzzCase) -> bool:
+        try:
+            return bool(predicate(c))
+        except ReproError:
+            return False
+
+    if not case_ok(case):
+        return case
+
+    def shrink_threads(c: FuzzCase) -> FuzzCase:
+        for n in _thread_candidates(c.n_threads):
+            smaller = c.with_threads(n)
+            if case_ok(smaller):
+                return smaller
+        return c
+
+    case = shrink_threads(case)
+    kernel = reduce_kernel(
+        case.kernel,
+        lambda k: case_ok(case.with_kernel(k)),
+        max_rounds=max_rounds,
+    )
+    case = case.with_kernel(kernel)
+    return shrink_threads(case)

@@ -24,7 +24,12 @@ from repro.ir.types import (
     param_reg,
 )
 from repro.ir.stats import KernelStatistics, kernel_statistics
-from repro.ir.text import ParseError, kernel_to_text, parse_kernel
+from repro.ir.text import (
+    ParseError,
+    kernel_to_text,
+    kernels_equivalent,
+    parse_kernel,
+)
 from repro.ir.validate import ValidationError, validate_kernel
 
 __all__ = [
@@ -51,6 +56,7 @@ __all__ = [
     "is_reserved_reg",
     "kernel_statistics",
     "kernel_to_text",
+    "kernels_equivalent",
     "param_reg",
     "parse_kernel",
     "result_dtype",

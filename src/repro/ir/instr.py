@@ -70,8 +70,8 @@ class Op(enum.Enum):
     MOV = "mov"
     SELECT = "select"  # (pred, if_true, if_false)
     # Non-pipelined operations, executed by the SCUs.
-    DIV = "div"  # integer division, truncating toward negative infinity
-    REM = "rem"  # integer remainder, sign follows divisor (Python %)
+    DIV = "div"  # integer division, toward -inf; x/0 == 0 (pinned)
+    REM = "rem"  # integer remainder, sign follows divisor; x%0 == 0
     FDIV = "fdiv"
     FSQRT = "fsqrt"
     FRSQRT = "frsqrt"
@@ -226,13 +226,144 @@ def _as_bool(x: Union[int, float, bool]) -> bool:
     return bool(x)
 
 
-def _frsqrt(x: float) -> float:
-    return 1.0 / math.sqrt(x)
+# ----------------------------------------------------------------------
+# Pinned edge-case semantics
+# ----------------------------------------------------------------------
+# Every opcode below is *total*: no input (division by zero, out-of-range
+# shift amount, non-finite float) may raise.  The full contract is the
+# table in ``docs/fuzzing.md`` ("Edge-case arithmetic semantics") and is
+# unit-tested per opcode in ``tests/test_instr_semantics.py``; the
+# differential fuzzer (``repro.fuzz``) relies on it to generate
+# arbitrary operand values without crashing any substrate.
+#
+#   DIV / REM     divisor 0        -> 0 (hardware-style "garbage" pinned
+#                                      to a deterministic value)
+#   SHL / SHR     shift amount     -> masked to [0, 63] (64-bit datapath)
+#   SHL           result           -> wraps to signed 64-bit two's
+#                                      complement (bounds value growth)
+#   F2I           NaN              -> 0
+#                 out of i64 range -> saturates to INT64_MIN/MAX
+#   I2F           |a| > DBL_MAX    -> +/-inf
+#   FDIV          x/0              -> +/-inf (IEEE sign), 0/0, nan/0 -> nan
+#   FSQRT         a < 0            -> nan
+#   FRSQRT        a == 0           -> +inf;  a < 0 -> nan
+#   FEXP          overflow         -> +inf
+#   FLOG          a == 0           -> -inf;  a < 0 -> nan
+#   FSIN / FCOS   nan / +/-inf     -> nan
+#   FFLOOR        nan / +/-inf     -> propagated unchanged
+
+_I64_MASK = (1 << 64) - 1
+_I64_SIGN = 1 << 63
+INT64_MAX = (1 << 63) - 1
+INT64_MIN = -(1 << 63)
+_TWO63_F = float(1 << 63)
+
+
+def _wrap_i64(v: int) -> int:
+    """Wrap ``v`` to signed 64-bit two's complement."""
+    v &= _I64_MASK
+    return v - (1 << 64) if v & _I64_SIGN else v
+
+
+def _div(a, b) -> int:
+    a, b = int(a), int(b)
+    return a // b if b else 0
+
+
+def _rem(a, b) -> int:
+    a, b = int(a), int(b)
+    return a % b if b else 0
+
+
+def _shl(a, b) -> int:
+    return _wrap_i64(int(a) << (int(b) & 63))
+
+
+def _shr(a, b) -> int:
+    return int(a) >> (int(b) & 63)
+
+
+def _f2i(a) -> int:
+    a = float(a)
+    if a != a:  # NaN
+        return 0
+    if a >= _TWO63_F:
+        return INT64_MAX
+    if a <= -_TWO63_F:
+        return INT64_MIN
+    return int(a)  # truncation toward zero
+
+
+def _i2f(a) -> float:
+    try:
+        return float(int(a))
+    except OverflowError:
+        return math.inf if int(a) > 0 else -math.inf
+
+
+def _fdiv(a, b) -> float:
+    a, b = float(a), float(b)
+    if b == 0.0:
+        if a != a or a == 0.0:
+            return math.nan
+        inf = math.copysign(math.inf, a)
+        return inf if math.copysign(1.0, b) > 0 else -inf
+    return a / b
+
+
+def _fsqrt(a) -> float:
+    a = float(a)
+    return math.nan if a < 0.0 else math.sqrt(a)
+
+
+def _frsqrt(a) -> float:
+    a = float(a)
+    if a != a or a < 0.0:
+        return math.nan
+    if a == 0.0:
+        return math.inf
+    if a == math.inf:
+        return 0.0
+    return 1.0 / math.sqrt(a)
+
+
+def _fexp(a) -> float:
+    try:
+        return math.exp(float(a))
+    except OverflowError:
+        return math.inf
+
+
+def _flog(a) -> float:
+    a = float(a)
+    if a != a or a < 0.0:
+        return math.nan
+    if a == 0.0:
+        return -math.inf
+    return math.log(a)
+
+
+def _fsin(a) -> float:
+    a = float(a)
+    return math.nan if (a != a or a in (math.inf, -math.inf)) else math.sin(a)
+
+
+def _fcos(a) -> float:
+    a = float(a)
+    return math.nan if (a != a or a in (math.inf, -math.inf)) else math.cos(a)
+
+
+def _ffloor(a) -> float:
+    a = float(a)
+    if a != a or a in (math.inf, -math.inf):
+        return a
+    return float(math.floor(a))
 
 
 #: Pure evaluation functions for every non-memory opcode, shared by the
 #: reference interpreter and all three timing simulators so that the
-#: machines are functionally identical by construction.
+#: machines are functionally identical by construction.  Every function
+#: is total (see the pinned edge-case table above / docs/fuzzing.md).
 EVAL: Dict[Op, Callable] = {
     Op.ADD: lambda a, b: int(a) + int(b),
     Op.SUB: lambda a, b: int(a) - int(b),
@@ -242,8 +373,8 @@ EVAL: Dict[Op, Callable] = {
     Op.AND: lambda a, b: int(a) & int(b),
     Op.OR: lambda a, b: int(a) | int(b),
     Op.XOR: lambda a, b: int(a) ^ int(b),
-    Op.SHL: lambda a, b: int(a) << int(b),
-    Op.SHR: lambda a, b: int(a) >> int(b),
+    Op.SHL: _shl,
+    Op.SHR: _shr,
     Op.NEG: lambda a: -int(a),
     Op.NOT: lambda a: (not _as_bool(a)) if isinstance(a, bool) else ~int(a),
     Op.ABS: lambda a: abs(int(a)),
@@ -261,18 +392,18 @@ EVAL: Dict[Op, Callable] = {
     Op.LE: lambda a, b: a <= b,
     Op.GT: lambda a, b: a > b,
     Op.GE: lambda a, b: a >= b,
-    Op.I2F: lambda a: float(int(a)),
-    Op.F2I: lambda a: int(float(a)),
+    Op.I2F: _i2f,
+    Op.F2I: _f2i,
     Op.MOV: lambda a: a,
     Op.SELECT: lambda p, a, b: a if _as_bool(p) else b,
-    Op.DIV: lambda a, b: int(a) // int(b),
-    Op.REM: lambda a, b: int(a) % int(b),
-    Op.FDIV: lambda a, b: float(a) / float(b),
-    Op.FSQRT: lambda a: math.sqrt(float(a)),
-    Op.FRSQRT: lambda a: _frsqrt(float(a)),
-    Op.FEXP: lambda a: math.exp(float(a)),
-    Op.FLOG: lambda a: math.log(float(a)),
-    Op.FSIN: lambda a: math.sin(float(a)),
-    Op.FCOS: lambda a: math.cos(float(a)),
-    Op.FFLOOR: lambda a: math.floor(float(a)),
+    Op.DIV: _div,
+    Op.REM: _rem,
+    Op.FDIV: _fdiv,
+    Op.FSQRT: _fsqrt,
+    Op.FRSQRT: _frsqrt,
+    Op.FEXP: _fexp,
+    Op.FLOG: _flog,
+    Op.FSIN: _fsin,
+    Op.FCOS: _fcos,
+    Op.FFLOOR: _ffloor,
 }

@@ -49,22 +49,26 @@ class ParseError(CompileError):
 _DTYPE_NAMES = {d.value: d for d in DType}
 _OP_NAMES = {op.value: op for op in Op}
 
+# Names (kernels, blocks, registers) admit word characters, dots, and
+# dashes — the dash keeps externally written reproducers (fuzz corpus
+# entries named after their campaign) parseable.
+_NAME = r"[\w.-]+"
 _HEADER_RE = re.compile(
-    r"^kernel\s+(?P<name>[\w.]+)\((?P<params>[^)]*)\)"
+    rf"^kernel\s+(?P<name>{_NAME})\((?P<params>[^)]*)\)"
     r"(?:\s+float\((?P<floats>[^)]*)\))?$"
 )
-_LABEL_RE = re.compile(r"^(?P<label>[\w.]+):$")
+_LABEL_RE = re.compile(rf"^(?P<label>{_NAME}):$")
 _ASSIGN_RE = re.compile(
-    r"^%(?P<dst>[\w.]+)\s*=\s*(?P<op>\w+)\s*(?P<operands>.*?)"
+    rf"^%(?P<dst>{_NAME})\s*=\s*(?P<op>\w+)\s*(?P<operands>.*?)"
     r"\s*!(?P<dtype>\w+)$"
 )
 _STORE_RE = re.compile(
     r"^store\s+(?P<operands>.*?)\s*!(?P<dtype>\w+)$"
 )
 _BR_RE = re.compile(
-    r"^br\s+(?P<cond>\S+),\s*(?P<true>[\w.]+),\s*(?P<false>[\w.]+)$"
+    rf"^br\s+(?P<cond>\S+),\s*(?P<true>{_NAME}),\s*(?P<false>{_NAME})$"
 )
-_JMP_RE = re.compile(r"^jmp\s+(?P<target>[\w.]+)$")
+_JMP_RE = re.compile(rf"^jmp\s+(?P<target>{_NAME})$")
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +120,60 @@ def kernel_to_text(kernel: Kernel) -> str:
                 f"{term.true_target}, {term.false_target}"
             )
     return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Structural equivalence
+# ----------------------------------------------------------------------
+def _operand_equal(a: Operand, b: Operand) -> bool:
+    if isinstance(a, Reg) or isinstance(b, Reg):
+        return a == b
+    if a.dtype is not b.dtype:
+        return False
+    av, bv = a.value, b.value
+    if av != av and bv != bv:  # NaN immediates compare equal
+        return True
+    return av == bv and type(av) is type(bv)
+
+
+def kernels_equivalent(a: Kernel, b: Kernel) -> bool:
+    """Structural equality of two kernels.
+
+    This is the round-trip contract of the textual format:
+    ``kernels_equivalent(k, parse_kernel(kernel_to_text(k)))`` holds for
+    every valid kernel.  Unlike dataclass ``==`` it treats two NaN
+    float immediates as equal (NaN never compares equal to itself, but
+    a disassemble/assemble cycle reproduces it bit-for-bit) and ignores
+    block *declaration* order beyond the entry block.
+    """
+    if (a.name, list(a.params), a.entry) != (b.name, list(b.params), b.entry):
+        return False
+    if a.param_dtypes != b.param_dtypes:
+        return False
+    if set(a.blocks) != set(b.blocks):
+        return False
+    for name in a.blocks:
+        ba, bb = a.blocks[name], b.blocks[name]
+        if len(ba.instrs) != len(bb.instrs):
+            return False
+        for ia, ib in zip(ba.instrs, bb.instrs):
+            if (ia.op, ia.dst, ia.dtype, len(ia.srcs)) != (
+                ib.op, ib.dst, ib.dtype, len(ib.srcs)
+            ):
+                return False
+            if not all(_operand_equal(sa, sb)
+                       for sa, sb in zip(ia.srcs, ib.srcs)):
+                return False
+        ta, tb = ba.terminator, bb.terminator
+        if (ta.kind, ta.true_target, ta.false_target) != (
+            tb.kind, tb.true_target, tb.false_target
+        ):
+            return False
+        if (ta.cond is None) != (tb.cond is None):
+            return False
+        if ta.cond is not None and not _operand_equal(ta.cond, tb.cond):
+            return False
+    return True
 
 
 # ----------------------------------------------------------------------

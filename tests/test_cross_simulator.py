@@ -6,12 +6,20 @@ This is the repository's strongest end-to-end invariant: the VGIW core
 (CVT scheduling, LVC spills, replication, partitioning), the Fermi SM
 (SIMT stack, coalescing) and the SGMF core (whole-kernel mapping,
 predication) all execute the same semantics.
+
+Divergences are reported through the fuzzing oracle's word-level
+comparator (:func:`repro.fuzz.compare_images`), so a failure names the
+first diverging address, the diverged word count, sample values, and
+whether the words were never written at all (missing stores) —
+instead of a bare boolean from ``np.array_equal``.  The comparator is
+also NaN-aware: a correctly reproduced NaN store is a match, not a
+diff.
 """
 
-import numpy as np
 import pytest
 
 from repro.compiler.optimize import optimize_kernel
+from repro.fuzz import compare_images
 from repro.interp import interpret
 from repro.kernels.registry import all_names, make_workload
 from repro.sgmf import SGMFCore, SGMFUnmappableError
@@ -25,14 +33,23 @@ def _golden(workload, kernel):
     return mem
 
 
+def _assert_images_match(golden, mem, initial, arch, name):
+    diff = compare_images(golden.data, mem.data, initial.data)
+    assert diff.equal, (
+        f"{arch} diverges from the interpreter on {name}: "
+        f"{diff.describe()}"
+    )
+
+
 @pytest.mark.parametrize("name", all_names(include_extras=True))
 def test_vgiw_matches_interpreter(name):
     w = make_workload(name, "tiny")
     k = optimize_kernel(w.kernel)
     golden = _golden(w, k)
+    initial = w.memory.clone()
     mem = w.memory.clone()
     result = VGIWCore().run(k, mem, w.params, w.n_threads)
-    assert np.array_equal(mem.data, golden.data)
+    _assert_images_match(golden, mem, initial, "VGIW", name)
     assert result.cycles > 0
     assert result.bbs.reconfigurations >= result.n_blocks - 1
 
@@ -42,9 +59,10 @@ def test_fermi_matches_interpreter(name):
     w = make_workload(name, "tiny")
     k = optimize_kernel(w.kernel)
     golden = _golden(w, k)
+    initial = w.memory.clone()
     mem = w.memory.clone()
     result = FermiSM().run(k, mem, w.params, w.n_threads)
-    assert np.array_equal(mem.data, golden.data)
+    _assert_images_match(golden, mem, initial, "Fermi", name)
     assert result.sm.instructions_issued > 0
 
 
@@ -53,10 +71,11 @@ def test_sgmf_matches_interpreter_or_is_unmappable(name):
     w = make_workload(name, "tiny")
     k = optimize_kernel(w.kernel)
     golden = _golden(w, k)
+    initial = w.memory.clone()
     mem = w.memory.clone()
     try:
         result = SGMFCore().run(k, mem, w.params, w.n_threads)
     except SGMFUnmappableError:
         return  # the capacity limit is itself paper behaviour
-    assert np.array_equal(mem.data, golden.data)
+    _assert_images_match(golden, mem, initial, "SGMF", name)
     assert result.n_replicas >= 1

@@ -69,7 +69,7 @@ def test_docs_were_scanned():
     names = {p.name for p in DOC_FILES}
     assert "README.md" in names
     for expected in ("observability.md", "performance.md", "resilience.md",
-                     "api.md", "extending.md"):
+                     "api.md", "extending.md", "fuzzing.md"):
         assert expected in names, f"docs/{expected} disappeared"
     assert any(extract_python_blocks(p) for p in DOC_FILES)
 

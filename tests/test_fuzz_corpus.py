@@ -1,0 +1,57 @@
+"""Replay every committed ``.kir`` reproducer against every engine.
+
+Each file under ``tests/corpus/`` is a minimised reproducer of a bug
+the differential fuzzer (or a human) once found.  Replaying them
+through the oracle keeps those bugs fixed: a regression flips the
+replay from clean to divergent and this test names the engine, the
+classification, and the first diverging address.
+
+Entries whose ``status`` directive is ``open`` are expected failures —
+they document a *known* divergence that is filed but not yet fixed —
+and the test asserts they still reproduce (so a silent fix prompts
+promoting them to ``fixed``).
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import load_corpus_case, load_corpus_dir, run_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+_CASES = load_corpus_dir(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert _CASES, f"no .kir reproducers under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("case", _CASES, ids=lambda c: c.name)
+def test_corpus_case_replays(case):
+    report = run_case(case)
+    statuses = [(o.engine, o.status) for o in report.outcomes]
+    if case.meta.get("status") == "open":
+        assert report.divergent, (
+            f"{case.name} is filed as an open divergence but now "
+            f"replays clean ({statuses}) — promote it to status: fixed"
+        )
+    else:
+        assert not report.divergent, (
+            f"{case.name} regressed: {statuses}\n"
+            + "\n".join(o.detail for o in report.outcomes if o.detail)
+        )
+
+
+@pytest.mark.parametrize("case", _CASES, ids=lambda c: c.name)
+def test_corpus_case_is_well_formed(case):
+    """Directives are complete and the kernel text re-loads to the
+    same case (guards hand-edited entries)."""
+    assert case.n_threads >= 1
+    assert case.mem_words >= 1
+    assert set(case.kernel.params) <= set(case.params)
+    reloaded = load_corpus_case(
+        os.path.join(CORPUS_DIR, f"{case.name}.kir")
+    )
+    assert reloaded.params == case.params
+    assert reloaded.n_threads == case.n_threads

@@ -10,8 +10,17 @@ import math
 import pytest
 
 from repro.ir import EVAL, Op
-from repro.ir.instr import result_dtype, unit_class, UnitClass
+from repro.ir.instr import (
+    INT64_MAX,
+    INT64_MIN,
+    UnitClass,
+    result_dtype,
+    unit_class,
+)
 from repro.ir.types import DType
+
+NAN = float("nan")
+INF = float("inf")
 
 CASES = [
     (Op.ADD, (7, 5), 12),
@@ -100,6 +109,83 @@ def test_compute_ops_map_to_alu_fpu(op):
 def test_memory_ops_map_to_ldst():
     assert unit_class(Op.LOAD) is UnitClass.MEMORY
     assert unit_class(Op.STORE) is UnitClass.MEMORY
+
+
+# ----------------------------------------------------------------------
+# Edge-case semantics (the pinned table in repro/ir/instr.py).
+#
+# Every entry here used to raise a host exception (ZeroDivisionError,
+# OverflowError, math domain error) or produce an unbounded Python int
+# before the semantics were made total; the fuzzing corpus under
+# tests/corpus/ replays the same cases end-to-end on every engine.
+# ----------------------------------------------------------------------
+EDGE_CASES = [
+    # integer division by zero: x / 0 == x % 0 == 0
+    (Op.DIV, (7, 0), 0),
+    (Op.DIV, (-7, 0), 0),
+    (Op.DIV, (0, 0), 0),
+    (Op.REM, (7, 0), 0),
+    (Op.REM, (-7, 0), 0),
+    # shift amounts masked to the low 6 bits (mod 64)
+    (Op.SHL, (123, 70), 123 << 6),
+    (Op.SHL, (123, 64), 123),
+    (Op.SHR, (123, 70), 123 >> 6),
+    (Op.SHR, (-9, 70), -1),      # arithmetic shift of negatives
+    (Op.SHR, (-9, 64), -9),
+    # SHL wraps like a signed 64-bit register
+    (Op.SHL, (1, 63), INT64_MIN),
+    (Op.SHL, (1, 62), 1 << 62),
+    (Op.SHL, (3, 63), INT64_MIN),
+    # F2I: NaN -> 0, out-of-range saturates
+    (Op.F2I, (NAN,), 0),
+    (Op.F2I, (INF,), INT64_MAX),
+    (Op.F2I, (-INF,), INT64_MIN),
+    (Op.F2I, (1e30,), INT64_MAX),
+    (Op.F2I, (-1e30,), INT64_MIN),
+    # I2F: magnitudes beyond float range saturate to +-inf
+    (Op.I2F, (1 << 2000,), INF),
+    (Op.I2F, (-(1 << 2000),), -INF),
+    # FDIV: IEEE-754 poles
+    (Op.FDIV, (1.0, 0.0), INF),
+    (Op.FDIV, (-1.0, 0.0), -INF),
+    (Op.FDIV, (1.0, -0.0), -INF),
+    (Op.FDIV, (0.0, 0.0), NAN),
+    (Op.FDIV, (NAN, 0.0), NAN),
+    # special-function poles (all total, no host exceptions)
+    (Op.FSQRT, (-1.0,), NAN),
+    (Op.FRSQRT, (0.0,), INF),
+    (Op.FRSQRT, (-1.0,), NAN),
+    (Op.FRSQRT, (INF,), 0.0),
+    (Op.FEXP, (800.0,), INF),     # overflow -> +inf
+    (Op.FEXP, (-800.0,), 0.0),    # underflow -> 0
+    (Op.FLOG, (0.0,), -INF),
+    (Op.FLOG, (-1.0,), NAN),
+    (Op.FSIN, (NAN,), NAN),
+    (Op.FSIN, (INF,), NAN),
+    (Op.FCOS, (-INF,), NAN),
+    (Op.FFLOOR, (NAN,), NAN),
+    (Op.FFLOOR, (INF,), INF),
+    (Op.FFLOOR, (-INF,), -INF),
+]
+
+
+@pytest.mark.parametrize("op,args,expected", EDGE_CASES)
+def test_edge_case_semantics_are_total(op, args, expected):
+    got = EVAL[op](*args)
+    if isinstance(expected, float) and math.isnan(expected):
+        assert isinstance(got, float) and math.isnan(got), (op, args, got)
+    else:
+        assert got == expected, (op, args, got)
+        if isinstance(expected, float) and math.isinf(expected):
+            assert math.copysign(1.0, got) == math.copysign(1.0, expected)
+
+
+def test_shift_results_stay_in_i64():
+    """SHL never escapes the signed 64-bit range, whatever the inputs."""
+    for a in (0, 1, -1, 123, -9, INT64_MAX, INT64_MIN):
+        for b in (0, 1, 31, 63, 64, 70, 127):
+            v = EVAL[Op.SHL](a, b)
+            assert INT64_MIN <= v <= INT64_MAX, (a, b, v)
 
 
 def test_result_dtypes():
