@@ -26,8 +26,9 @@ Two storage tiers:
   double optimisation in ``run_kernel`` (the rolled SGMF variant
   shares its specialisation prefix with the unrolled one).
 * **on-disk** (optional, ``cache_dir=``) — one pickle per entry named
-  by its key hash, written atomically (``os.replace`` from a unique
-  temp file, safe under concurrent ``--jobs`` workers).  A corrupt,
+  by its key hash, written atomically and durably through
+  :func:`repro.resilience.atomicio.atomic_pickle` (tmp file + fsync +
+  ``os.replace``, safe under concurrent ``--jobs`` workers).  A corrupt,
   truncated, or unreadable entry is treated as a miss and rebuilt —
   the cache can only ever cost a recompile, never correctness
   (``stats.disk_errors`` counts such falls-back).
@@ -43,8 +44,9 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from typing import Any, Callable, Dict, Optional
+
+from repro.resilience.atomicio import atomic_pickle
 
 __all__ = [
     "CACHE_VERSION",
@@ -152,18 +154,7 @@ class CompileCache:
 
     def _disk_store(self, key: str, value: Any) -> None:
         try:
-            os.makedirs(self.cache_dir, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._path(key))  # atomic under POSIX
-            except BaseException:
-                try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_pickle(self._path(key), value)
             self.disk_writes += 1
         except Exception:
             # Unpicklable payloads or an unwritable directory degrade

@@ -13,11 +13,13 @@ from repro.evalharness.experiments import (
     table1_configuration,
     table2_benchmarks,
 )
+from repro.evalharness.journal import JournalEntry, RunJournal
 from repro.evalharness.report import generate_report
 from repro.evalharness.runner import (
     KernelRun,
     SuiteResult,
     VerificationError,
+    checkpoint_file_for,
     run_kernel,
     run_suite,
     trace_file_for,
@@ -28,10 +30,13 @@ from repro.evalharness.tables import ExperimentTable, arithmean, geomean
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentTable",
+    "JournalEntry",
     "KernelRun",
+    "RunJournal",
     "SuiteResult",
     "VerificationError",
     "arithmean",
+    "checkpoint_file_for",
     "degraded_kernels",
     "fig10_energy_levels",
     "fig11_energy_vs_sgmf",

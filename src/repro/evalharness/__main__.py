@@ -10,6 +10,10 @@ Usage::
                                 [--inject kernel=kind[:seed[:rate]]]...
                                 [--max-cycles N] [--stall-cycles N]
                                 [--no-isolate]
+                                [--journal FILE | --resume FILE]
+                                [--timeout SECONDS]
+                                [--checkpoint-every CYCLES]
+                                [--checkpoint-dir DIR]
 
 ``--inject`` arms a deterministic fault campaign on one kernel (it may
 be repeated); combined with the default fault isolation the affected
@@ -30,6 +34,15 @@ with kernel ``nn/nearest`` writes ``trace.nn_nearest.json``).  Open the
 files in Perfetto / ``chrome://tracing``.  ``--metrics`` records the
 cross-engine metric registry and appends its column group to the
 report.  See ``docs/observability.md``.
+
+``--journal FILE`` records every completed kernel to a durable JSONL
+journal as the sweep runs; after a crash (worker *or* parent),
+``--resume FILE`` reloads it, re-runs only the missing kernels, and
+produces a report byte-identical to an uninterrupted sweep.
+``--timeout`` bounds each kernel attempt in host wall-clock seconds;
+``--checkpoint-every`` / ``--checkpoint-dir`` persist periodic
+simulator snapshots for post-mortem restore.  See
+``docs/resilience.md`` §7.
 """
 
 from __future__ import annotations
@@ -39,6 +52,7 @@ import os
 import sys
 import time
 
+from repro.evalharness.journal import RunJournal
 from repro.evalharness.report import generate_report
 from repro.evalharness.runner import run_suite, trace_file_for
 from repro.evalharness.serialize import runs_to_json
@@ -99,7 +113,36 @@ def main(argv=None) -> int:
     parser.add_argument("--no-isolate", action="store_true",
                         help="let the first kernel failure abort the sweep "
                              "(the historical behaviour)")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="append every completed kernel to a durable "
+                             "JSONL journal (crash-safe; see --resume)")
+    parser.add_argument("--resume", default=None, metavar="FILE",
+                        help="resume from a journal written by --journal: "
+                             "skip the kernels it holds, run the rest, "
+                             "keep journaling to the same file")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per kernel attempt; a "
+                             "timed-out kernel is retried then degraded")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="CYCLES",
+                        help="snapshot every simulator's state every N "
+                             "simulated cycles")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="persist the newest snapshot per kernel and "
+                             "engine under DIR (implies restorable "
+                             "post-mortems; see docs/resilience.md)")
     args = parser.parse_args(argv)
+
+    if args.journal and args.resume and args.journal != args.resume:
+        parser.error("--journal and --resume must name the same file "
+                     "(--resume alone keeps journaling to that file)")
+    journal = args.resume or args.journal
+    if args.resume is not None:
+        try:
+            RunJournal.resume(args.resume, args.scale)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     names = None
     if args.kernels:
@@ -133,7 +176,11 @@ def main(argv=None) -> int:
     runs = run_suite(names, scale=args.scale, isolate=not args.no_isolate,
                      watchdog=watchdog, inject=inject,
                      metrics=metrics, jobs=args.jobs,
-                     cache_dir=args.cache_dir, trace_path=args.trace)
+                     cache_dir=args.cache_dir, trace_path=args.trace,
+                     journal=journal, resume=args.resume is not None,
+                     timeout=args.timeout,
+                     checkpoint_every=args.checkpoint_every,
+                     checkpoint_dir=args.checkpoint_dir)
     report = generate_report(runs, scale=args.scale, metrics=metrics)
     elapsed = time.time() - t0
 

@@ -1,0 +1,213 @@
+"""Durable run journal: a crash-safe on-disk record of a sweep.
+
+``run_suite(journal=PATH)`` appends every completed per-kernel result
+(healthy *or* degraded) to a JSONL file the moment it lands, so a sweep
+killed halfway — parent SIGKILL, OOM, power loss — leaves behind a
+complete record of everything that finished.  ``run_suite(journal=PATH,
+resume=True)`` (``--resume PATH`` on the CLI) reloads that record, skips
+the journaled kernels, runs only the missing ones, and reassembles the
+final report in input order — byte-identical to the uninterrupted sweep.
+
+File format
+-----------
+
+One JSON object per line (JSONL), documented in ``docs/api.md``:
+
+* line 1 — header: ``{"v": 1, "journal": "repro.evalharness.journal",
+  "scale": "<scale>"}``.  A resume refuses to mix scales.
+* each further line — one kernel:
+  ``{"v": 1, "kernel": "<name>", "status": "ok" | "degraded",
+  "summary": {...}, "payload": "<base64>"}``.  ``summary`` is small,
+  human-greppable JSON (cycle counts for healthy rows, the error for
+  degraded ones); ``payload`` is the base64-encoded pickle of the full
+  :class:`JournalEntry` (the ``KernelRun`` / ``KernelFailure`` plus the
+  kernel's tracer / metric registry / compile-cache stats), which is
+  what makes resumed reports byte-identical.
+
+Durability
+----------
+
+Every ``record`` rewrites the whole file through
+:func:`repro.resilience.atomicio.atomic_write_text` (temp file in the
+destination directory, ``fsync``, ``os.replace``) — the same path the
+compile cache uses for its disk tier.  A reader therefore *never* sees
+a torn tail: the journal on disk is always a complete, parseable
+prefix-closed record.  Suites are dozens of kernels at most, so the
+O(n²) rewrite cost is noise next to a single simulator run.
+
+``load`` is tolerant: lines that fail JSON decoding, schema validation,
+or payload unpickling are counted in ``skipped_lines`` and otherwise
+ignored, so a journal written by a newer/older code revision degrades
+to "re-run that kernel" instead of aborting the resume.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.resilience.atomicio import atomic_write_text
+
+__all__ = ["JOURNAL_VERSION", "JournalEntry", "RunJournal"]
+
+#: bump when the entry schema changes; ``load`` skips foreign versions
+JOURNAL_VERSION = 1
+
+_HEADER_KIND = "repro.evalharness.journal"
+
+
+@dataclass
+class JournalEntry:
+    """Everything ``run_suite`` needs to replay one kernel's completion.
+
+    Exactly one of ``run`` / ``failure`` is set.  ``tracer`` /
+    ``metrics`` are the *per-kernel* registries (the same objects a
+    ``--jobs`` worker ships back to the parent), so a resumed sweep can
+    merge them in input order and reproduce the aggregate streams;
+    ``cache_stats`` replays the kernel's compile-cache counters.
+    """
+
+    run: Any = None
+    failure: Any = None
+    tracer: Any = None
+    metrics: Any = None
+    cache_stats: Any = None
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.failure is None else "degraded"
+
+    def summary(self) -> Dict[str, Any]:
+        """Small human-greppable JSON for the journal line."""
+        if self.failure is not None:
+            return {
+                "error_type": self.failure.error_type,
+                "message": self.failure.message,
+                "attempts": self.failure.n_attempts,
+            }
+        run = self.run
+        if run is None:
+            return {}
+        return {
+            "fermi_cycles": run.fermi.cycles,
+            "vgiw_cycles": run.vgiw.cycles,
+            "sgmf_cycles": None if run.sgmf is None else run.sgmf.cycles,
+        }
+
+
+class RunJournal:
+    """The durable journal behind ``run_suite(journal=...)``.
+
+    ``record`` is the only mutator; it both updates the in-memory
+    mapping and atomically rewrites the file, so the on-disk journal is
+    current the instant ``record`` returns.
+    """
+
+    def __init__(self, path: str, scale: str, fsync: bool = True):
+        self.path = path
+        self.scale: Optional[str] = scale
+        self.fsync = fsync
+        self.entries: Dict[str, JournalEntry] = {}
+        self._order: List[str] = []
+        #: lines ``load`` could not understand (corrupt / foreign version)
+        self.skipped_lines = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (f"RunJournal({self.path!r}, scale={self.scale!r}, "
+                f"{len(self.entries)} entries)")
+
+    # -- writing --------------------------------------------------------
+    def record(self, name: str, entry: JournalEntry) -> None:
+        """Add (or replace) one kernel's entry and flush to disk."""
+        if name not in self.entries:
+            self._order.append(name)
+        self.entries[name] = entry
+        self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the journal file (header + every entry)."""
+        lines = [json.dumps(
+            {"v": JOURNAL_VERSION, "journal": _HEADER_KIND,
+             "scale": self.scale},
+            sort_keys=True,
+        )]
+        for name in self._order:
+            lines.append(self._entry_line(name, self.entries[name]))
+        atomic_write_text(self.path, "\n".join(lines) + "\n",
+                          fsync=self.fsync)
+
+    @staticmethod
+    def _entry_line(name: str, entry: JournalEntry) -> str:
+        blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        return json.dumps(
+            {
+                "v": JOURNAL_VERSION,
+                "kernel": name,
+                "status": entry.status,
+                "summary": entry.summary(),
+                "payload": base64.b64encode(blob).decode("ascii"),
+            },
+            sort_keys=True,
+        )
+
+    # -- reading --------------------------------------------------------
+    @classmethod
+    def load(cls, path: str, fsync: bool = True) -> "RunJournal":
+        """Parse an existing journal, tolerating corrupt lines."""
+        journal = cls(path, scale=None, fsync=fsync)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError:
+                    journal.skipped_lines += 1
+                    continue
+                if not isinstance(obj, dict) or obj.get("v") != JOURNAL_VERSION:
+                    journal.skipped_lines += 1
+                    continue
+                if obj.get("journal") == _HEADER_KIND:
+                    journal.scale = obj.get("scale")
+                    continue
+                name = obj.get("kernel")
+                try:
+                    entry = pickle.loads(
+                        base64.b64decode(obj["payload"]))
+                except Exception:  # noqa: BLE001 — tolerant reader
+                    journal.skipped_lines += 1
+                    continue
+                if not isinstance(name, str) or \
+                        not isinstance(entry, JournalEntry):
+                    journal.skipped_lines += 1
+                    continue
+                if name not in journal.entries:
+                    journal._order.append(name)
+                journal.entries[name] = entry
+        return journal
+
+    @classmethod
+    def resume(cls, path: str, scale: str,
+               fsync: bool = True) -> "RunJournal":
+        """Load ``path`` if it exists (refusing a scale mismatch), else
+        start a fresh journal — the entry point ``--resume`` uses."""
+        if not os.path.exists(path):
+            return cls(path, scale, fsync=fsync)
+        journal = cls.load(path, fsync=fsync)
+        if journal.scale is not None and journal.scale != scale:
+            raise ValueError(
+                f"journal {path!r} was recorded at scale "
+                f"{journal.scale!r}; refusing to resume at {scale!r}")
+        journal.scale = scale
+        return journal

@@ -20,13 +20,37 @@ healthy runs, but additionally carries ``.failures`` — a mapping of
 kernel name to :class:`repro.resilience.KernelFailure` with every
 attempt's error, fault log, and (for hangs) the watchdog's diagnostic
 snapshot.  ``docs/resilience.md`` documents the semantics.
+
+Crash safety
+------------
+
+Fault isolation protects against *in-process* failures; three further
+layers protect against the process-level ones (``docs/resilience.md``
+§7):
+
+* ``journal=PATH`` appends every completed per-kernel result to a
+  durable JSONL journal (:mod:`repro.evalharness.journal`) the moment
+  it lands; ``resume=True`` reloads it, skips the journaled kernels and
+  reassembles a byte-identical report.
+* the ``jobs > 1`` pool driver survives worker death (SIGKILL, OOM,
+  segfault): it respawns the pool, requeues the kernels that were in
+  flight under a bounded crash budget, and degrades the ones that keep
+  killing workers with :class:`~repro.resilience.WorkerCrashError`.
+* ``timeout=SECONDS`` arms a per-kernel wall-clock guard
+  (:func:`~repro.resilience.wall_clock_limit`) that feeds the same
+  retry/degraded-row machinery as the cycle watchdog, and
+  ``checkpoint_every``/``checkpoint_dir`` persist periodic engine
+  snapshots so a killed run leaves a restorable state behind.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+from collections import deque
 from collections.abc import Mapping
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
@@ -34,6 +58,7 @@ import numpy as np
 
 from repro.arch.config import FermiConfig, SGMFConfig, VGIWConfig
 from repro.compiler.cache import CompileCache, cached_optimize_kernel
+from repro.evalharness.journal import JournalEntry, RunJournal
 from repro.interp import interpret
 from repro.kernels.base import Workload
 from repro.kernels.registry import all_names, make_workload
@@ -52,7 +77,10 @@ from repro.resilience import (
     ReproError,
     RetryPolicy,
     WatchdogConfig,
+    WorkerCrashError,
+    wall_clock_limit,
 )
+from repro.resilience.errors import SimulationHangError
 from repro.resilience.errors import VerificationError  # re-export (was local)
 from repro.sgmf import SGMFCore, SGMFRunResult, SGMFUnmappableError
 from repro.simt import FermiRunResult, FermiSM
@@ -62,10 +90,18 @@ __all__ = [
     "KernelRun",
     "SuiteResult",
     "VerificationError",
+    "checkpoint_file_for",
     "run_kernel",
     "run_suite",
     "trace_file_for",
 ]
+
+#: Test-only crash hook: ``"<kernel>:<token-file>"``.  A pool worker
+#: assigned ``<kernel>`` consumes (unlinks) the token file and SIGKILLs
+#: itself, so the crash fires exactly once and the requeued attempt
+#: succeeds.  Shared by ``tests/test_crash_recovery.py`` and the CI
+#: crash-recovery smoke job.
+KILL_ENV = "REPRO_SUITE_KILL"
 
 
 @dataclass
@@ -110,6 +146,47 @@ class KernelRun:
         return self.sgmf is not None
 
 
+def checkpoint_file_for(checkpoint_dir: str, kernel_name: str,
+                        engine: str, hang: bool = False) -> str:
+    """Checkpoint path: ``DIR/<kernel>.<engine>.ckpt`` (slashes in the
+    kernel name become underscores; hang post-mortems get
+    ``.<engine>.hang.ckpt``)."""
+    safe = kernel_name.replace("/", "_")
+    suffix = "hang.ckpt" if hang else "ckpt"
+    return os.path.join(checkpoint_dir, f"{safe}.{engine}.{suffix}")
+
+
+def _checkpoint_sink(checkpoint_dir: Optional[str], kernel_name: str,
+                     engine: str):
+    """A checkpoint sink that persists each snapshot (atomically) to the
+    kernel's per-engine checkpoint file, newest-wins."""
+    if checkpoint_dir is None:
+        return None
+    path = checkpoint_file_for(checkpoint_dir, kernel_name, engine)
+    return lambda snap: snap.save(path)
+
+
+def _save_hang_snapshot(core, checkpoint_dir: Optional[str],
+                        kernel_name: str, exc: SimulationHangError) -> None:
+    """Best-effort post-mortem: persist the hung engine's full state.
+
+    Only for watchdog-detected hangs — the engines guarantee their
+    state dict sits at a consistent resume boundary when the watchdog
+    fires.  A wall-clock ``SIGALRM`` can land mid-update, so that case
+    keeps only the last periodic checkpoint.
+    """
+    if checkpoint_dir is None:
+        return
+    if exc.context.get("wall_clock_limit_s") is not None:
+        return
+    try:
+        snap = core.snapshot()
+        snap.save(checkpoint_file_for(
+            checkpoint_dir, kernel_name, core.engine, hang=True))
+    except Exception:  # noqa: BLE001 — diagnostics must not mask the hang
+        pass
+
+
 def run_kernel(
     name: str,
     scale: str = "small",
@@ -123,6 +200,8 @@ def run_kernel(
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
     cache: Optional[CompileCache] = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> KernelRun:
     """Run one registry workload on all three machines.
 
@@ -135,8 +214,14 @@ def run_kernel(
     :class:`repro.compiler.CompileCache`) memoises the per-kernel pure
     computations — the optimisation pipeline, VGIW place & route, the
     SGMF whole-kernel mapping, the Fermi CFG analyses — across runs
-    (``run_suite`` threads one through the whole sweep).  Everything
-    defaults to off, so the measurement path is unchanged.
+    (``run_suite`` threads one through the whole sweep).
+    ``checkpoint_every`` arms periodic engine snapshots every N
+    simulated cycles; with ``checkpoint_dir`` each engine's newest
+    snapshot is persisted (atomically) to
+    ``DIR/<kernel>.<engine>.ckpt``, and a watchdog-detected hang
+    additionally saves a ``.hang.ckpt`` post-mortem (see
+    ``docs/resilience.md`` §7).  Everything defaults to off, so the
+    measurement path is unchanged.
     """
     workload = make_workload(name, scale)
     if optimize:
@@ -167,34 +252,51 @@ def run_kernel(
             )
 
     mem_f = workload.memory.clone()
-    fermi = FermiSM(fermi_config).run(
-        kernel, mem_f, workload.params, workload.n_threads,
-        watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
-        compile_cache=cache,
-    )
+    fermi_core = FermiSM(fermi_config)
+    try:
+        fermi = fermi_core.run(
+            kernel, mem_f, workload.params, workload.n_threads,
+            watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
+            compile_cache=cache, checkpoint_every=checkpoint_every,
+            checkpoint_sink=_checkpoint_sink(checkpoint_dir, name, "fermi"),
+        )
+    except SimulationHangError as exc:
+        _save_hang_snapshot(fermi_core, checkpoint_dir, name, exc)
+        raise
     check(mem_f, "Fermi")
 
     mem_v = workload.memory.clone()
-    vgiw = VGIWCore(vgiw_config).run(
-        kernel, mem_v, workload.params, workload.n_threads, profile=True,
-        watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
-        compile_cache=cache,
-    )
+    vgiw_core = VGIWCore(vgiw_config)
+    try:
+        vgiw = vgiw_core.run(
+            kernel, mem_v, workload.params, workload.n_threads, profile=True,
+            watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
+            compile_cache=cache, checkpoint_every=checkpoint_every,
+            checkpoint_sink=_checkpoint_sink(checkpoint_dir, name, "vgiw"),
+        )
+    except SimulationHangError as exc:
+        _save_hang_snapshot(vgiw_core, checkpoint_dir, name, exc)
+        raise
     check(mem_v, "VGIW")
 
     sgmf: Optional[SGMFRunResult] = None
     sgmf_bd: Optional[EnergyBreakdown] = None
+    sgmf_core = SGMFCore(sgmf_config)
     try:
         mem_s = workload.memory.clone()
-        sgmf = SGMFCore(sgmf_config).run(
+        sgmf = sgmf_core.run(
             sgmf_kernel, mem_s, workload.params, workload.n_threads,
             watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
-            compile_cache=cache,
+            compile_cache=cache, checkpoint_every=checkpoint_every,
+            checkpoint_sink=_checkpoint_sink(checkpoint_dir, name, "sgmf"),
         )
         check(mem_s, "SGMF")
         sgmf_bd = energy_sgmf(sgmf)
     except SGMFUnmappableError:
         pass
+    except SimulationHangError as exc:
+        _save_hang_snapshot(sgmf_core, checkpoint_dir, name, exc)
+        raise
 
     return KernelRun(
         name=name,
@@ -268,21 +370,30 @@ def _run_one(
     tracer: Optional[Tracer],
     metrics: Optional[Metrics],
     cache: Optional[CompileCache],
+    timeout: Optional[float] = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ):
     """One kernel of a sweep, with PR 1's retry/degraded-row machinery.
 
     Returns ``(run, None)`` on success or ``(None, failure)`` when the
     kernel exhausted its retries.  With ``isolate=False`` the first
-    failure propagates (the historical behaviour).  Shared verbatim by
-    the serial loop and the ``--jobs`` worker so the two paths cannot
-    drift.
+    failure propagates (the historical behaviour).  ``timeout`` bounds
+    each attempt in host wall-clock seconds via
+    :func:`~repro.resilience.wall_clock_limit`; the resulting
+    ``SimulationHangError`` flows through the same retry machinery as a
+    watchdog hang.  Shared verbatim by the serial loop and the
+    ``--jobs`` worker so the two paths cannot drift.
     """
     if not isolate:
         injector = FaultInjector(spec) if spec is not None else None
-        run = run_kernel(
-            name, scale, verify=verify, watchdog=watchdog,
-            faults=injector, tracer=tracer, metrics=metrics, cache=cache,
-        )
+        with wall_clock_limit(timeout, sim="suite", kernel=name):
+            run = run_kernel(
+                name, scale, verify=verify, watchdog=watchdog,
+                faults=injector, tracer=tracer, metrics=metrics, cache=cache,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+            )
         return run, None
 
     attempts: List[AttemptRecord] = []
@@ -293,11 +404,13 @@ def _run_one(
         )
         wd = retry.budget_for(watchdog, attempt)
         try:
-            run = run_kernel(
-                name, scale, verify=verify, watchdog=wd,
-                faults=injector, tracer=tracer, metrics=metrics,
-                cache=cache,
-            )
+            with wall_clock_limit(timeout, sim="suite", kernel=name):
+                run = run_kernel(
+                    name, scale, verify=verify, watchdog=wd,
+                    faults=injector, tracer=tracer, metrics=metrics,
+                    cache=cache, checkpoint_every=checkpoint_every,
+                    checkpoint_dir=checkpoint_dir,
+                )
             return run, None
         except ReproError as exc:
             attempts.append(
@@ -310,6 +423,25 @@ def _run_one(
     return None, KernelFailure.from_attempts(name, attempts)
 
 
+def _maybe_kill_for_test(name: str) -> None:
+    """Honour the :data:`KILL_ENV` crash hook (test/CI only).
+
+    The token file is the once-latch: whichever worker unlinks it first
+    dies; every later assignment of the same kernel runs normally.
+    """
+    spec = os.environ.get(KILL_ENV)
+    if not spec:
+        return
+    target, _, token = spec.partition(":")
+    if target != name or not token:
+        return
+    try:
+        os.unlink(token)
+    except OSError:
+        return  # token already consumed — the retry must succeed
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _suite_worker(payload):
     """Process-pool worker: one kernel, fully isolated.
 
@@ -318,16 +450,20 @@ def _suite_worker(payload):
     state is shared with the parent — and ships them back with the
     result; the parent merges them in deterministic kernel order.  A
     ``cache_dir`` gives the workers a shared persistent tier (the disk
-    writes are atomic, so concurrent workers are safe).
+    writes are atomic, so concurrent workers are safe).  The fault spec
+    and watchdog config travel inside the payload, so a requeued or
+    resumed kernel replays the exact same deterministic fault campaign.
     """
     (name, scale, verify, isolate, watchdog, retry, spec,
-     want_trace, want_metrics, cache_dir) = payload
+     want_trace, want_metrics, cache_dir, timeout,
+     checkpoint_every, checkpoint_dir) = payload
+    _maybe_kill_for_test(name)
     tracer = Tracer() if want_trace else None
     metrics = Metrics() if want_metrics else None
     cache = CompileCache(cache_dir)
     run, failure = _run_one(
         name, scale, verify, isolate, watchdog, retry, spec,
-        tracer, metrics, cache,
+        tracer, metrics, cache, timeout, checkpoint_every, checkpoint_dir,
     )
     return name, run, failure, tracer, metrics, cache.stats()
 
@@ -341,6 +477,90 @@ def trace_file_for(base: str, kernel_name: str) -> str:
     if not ext:
         ext = ".json"
     return f"{root}.{safe}{ext}"
+
+
+def _run_jobs(todo, jobs, isolate, retry, payload_for, record):
+    """Crash-tolerant process-pool driver for ``run_suite(jobs > 1)``.
+
+    At most ``jobs`` kernels are in flight at once.  When a worker dies
+    hard (SIGKILL, OOM, segfault) the pool raises
+    ``BrokenProcessPool`` for *every* in-flight future — the pool
+    cannot say which kernel the dead worker held — so the driver blames
+    all of them: each loses one unit of its crash budget
+    (``retry.max_attempts`` units total) and is requeued; a kernel
+    whose budget runs out becomes a degraded row carrying
+    :class:`~repro.resilience.WorkerCrashError`.  The broken executor
+    is discarded and a fresh one respawned.  Bounding the in-flight
+    window to ``jobs`` bounds the collateral blame per crash.
+
+    ``record(name, entry)`` fires the moment a kernel's result is
+    final (completion order — that is what makes the journal durable);
+    the caller reassembles the report in input order afterwards.
+    """
+    fresh: Dict[str, JournalEntry] = {}
+    pending = deque(todo)
+    budget: Dict[str, int] = {}
+    crash_records: Dict[str, List[AttemptRecord]] = {}
+
+    def finish(name, entry):
+        fresh[name] = entry
+        record(name, entry)
+
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        in_flight: Dict[object, str] = {}
+        while pending or in_flight:
+            while pending and len(in_flight) < jobs:
+                nxt = pending.popleft()
+                in_flight[pool.submit(_suite_worker, payload_for(nxt))] = nxt
+            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            crashed: List[str] = []
+            for future in done:
+                name = in_flight.pop(future)
+                try:
+                    (_, run, failure, wtracer, wmetrics,
+                     wstats) = future.result()
+                except BrokenProcessPool:
+                    crashed.append(name)
+                except Exception as exc:  # noqa: BLE001 — worker failed
+                    if not isolate:
+                        raise
+                    finish(name, JournalEntry(
+                        failure=KernelFailure.from_attempts(
+                            name, [AttemptRecord.from_error(0, exc)])))
+                else:
+                    finish(name, JournalEntry(
+                        run=run, failure=failure, tracer=wtracer,
+                        metrics=wmetrics, cache_stats=wstats))
+            if not crashed:
+                continue
+            # A worker died: the executor is broken, every future it
+            # still held is poisoned, and no new work can be submitted.
+            crashed.extend(in_flight.values())
+            in_flight.clear()
+            pool.shutdown(wait=False)
+            if not isolate:
+                raise WorkerCrashError(
+                    "a worker process died during the sweep",
+                    kernels=",".join(sorted(crashed)))
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            for name in crashed:
+                budget[name] = budget.get(
+                    name, max(1, retry.max_attempts)) - 1
+                records = crash_records.setdefault(name, [])
+                records.append(AttemptRecord.from_error(
+                    len(records),
+                    WorkerCrashError(
+                        "worker process died (SIGKILL/OOM/segfault) "
+                        "while this kernel was in flight", kernel=name)))
+                if budget[name] > 0:
+                    pending.append(name)
+                else:
+                    finish(name, JournalEntry(
+                        failure=KernelFailure.from_attempts(name, records)))
+    finally:
+        pool.shutdown(wait=False)
+    return fresh
 
 
 def run_suite(
@@ -357,6 +577,11 @@ def run_suite(
     cache: Optional[CompileCache] = None,
     cache_dir: Optional[str] = None,
     trace_path: Optional[str] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> SuiteResult:
     """Run the whole Table 2 suite (the data behind every figure).
 
@@ -372,7 +597,9 @@ def run_suite(
         three simulators for every kernel.
     retry:
         Bounded-retry policy; defaults to :class:`RetryPolicy()` (two
-        attempts, halved watchdog budget, seed shifted by 1009).
+        attempts, halved watchdog budget, seed shifted by 1009).  Its
+        ``max_attempts`` also bounds the worker-crash requeue budget
+        under ``jobs > 1``.
     inject:
         Optional per-kernel fault campaigns: ``{name: FaultSpec}``.
         Kernels absent from the mapping run fault-free.
@@ -380,16 +607,19 @@ def run_suite(
         Optional shared :class:`repro.obs.Tracer` /
         :class:`repro.obs.Metrics` threaded through every kernel on
         every machine (``--trace`` / ``--metrics`` on the CLI).  Under
-        ``jobs > 1`` each worker records into its own registry and the
-        parent merges them back in kernel order, so the aggregate is
-        independent of completion order.
+        ``jobs > 1`` (and whenever a journal is armed) each kernel
+        records into its own registry and the parent merges them back
+        in kernel order, so the aggregate is independent of completion
+        order.
     jobs:
         Process-pool width (``--jobs`` on the CLI).  ``1`` (default)
         runs serially in-process.  ``N > 1`` fans the kernels out to
         ``N`` worker processes; results are reassembled in the input
         name order, so reports are byte-identical to a serial sweep.
         Fault isolation still applies per kernel inside each worker —
-        a degraded kernel in one worker never disturbs the others.
+        a degraded kernel in one worker never disturbs the others —
+        and the driver additionally survives worker *death* (see
+        :func:`_run_jobs`).
     cache / cache_dir:
         Compile memoisation (see :mod:`repro.compiler.cache`).  By
         default a fresh in-memory :class:`CompileCache` is created for
@@ -402,68 +632,108 @@ def run_suite(
         its own tracer and its own file (``trace_file_for``:
         ``OUT.<kernel>.json``) so a multi-kernel sweep no longer
         overwrites one file per kernel.
+    journal / resume:
+        ``journal=PATH`` arms the durable run journal
+        (:class:`repro.evalharness.journal.RunJournal`): every
+        completed kernel is appended — atomically, fsync'd — the
+        moment it finishes, in completion order.  ``resume=True``
+        additionally loads an existing journal at ``PATH``, skips the
+        kernels it already holds (replaying their runs, traces,
+        metrics and cache counters), and runs only the rest; the final
+        report is byte-identical to the uninterrupted sweep
+        (``--journal`` / ``--resume`` on the CLI).
+    timeout:
+        Per-kernel wall-clock budget in host seconds (``--timeout``).
+        Each attempt is bounded by
+        :func:`~repro.resilience.wall_clock_limit`; a timed-out
+        attempt raises ``SimulationHangError`` into the normal
+        retry/degraded-row machinery.
+    checkpoint_every / checkpoint_dir:
+        Periodic engine snapshots every N simulated cycles, persisted
+        per kernel and engine under ``checkpoint_dir``
+        (``--checkpoint-every`` / ``--checkpoint-dir``; see
+        ``docs/resilience.md`` §7).
     """
     names = list(names) if names is not None else all_names()
     retry = retry or RetryPolicy()
     inject = inject or {}
     if cache is None:
         cache = CompileCache(cache_dir)
+    if resume and journal is None:
+        raise ValueError("run_suite(resume=True) requires journal=PATH")
 
-    runs: Dict[str, KernelRun] = {}
-    failures: Dict[str, KernelFailure] = {}
+    jnl: Optional[RunJournal] = None
+    replayed: Dict[str, JournalEntry] = {}
+    if journal is not None:
+        jnl = (RunJournal.resume(journal, scale) if resume
+               else RunJournal(journal, scale))
+        replayed = {n: jnl.entries[n] for n in names if n in jnl.entries}
+        jnl.flush()  # the header (plus replayed entries) lands up front
+    todo = [n for n in names if n not in replayed]
+
+    def record(name: str, entry: JournalEntry) -> None:
+        if jnl is not None:
+            jnl.record(name, entry)
 
     if jobs > 1:
         want_trace = trace_path is not None or tracer is not None
         want_metrics = metrics is not None
-        payloads = [
-            (name, scale, verify, isolate, watchdog, retry,
-             inject.get(name), want_trace, want_metrics, cache_dir)
-            for name in names
-        ]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_suite_worker, payload) for payload in payloads
-            ]
-            # Collect in *input* order (not completion order): the
-            # merged metrics/trace streams and the report row order are
-            # then identical to a serial sweep.
-            for name, future in zip(names, futures):
-                try:
-                    (_, run, failure, wtracer, wmetrics,
-                     wstats) = future.result()
-                except Exception as exc:  # noqa: BLE001 — worker crashed
-                    if not isolate:
-                        raise
-                    failures[name] = KernelFailure.from_attempts(
-                        name, [AttemptRecord.from_error(0, exc)])
-                    continue
-                if failure is not None:
-                    failures[name] = failure
-                else:
-                    runs[name] = run
-                if wmetrics is not None and metrics is not None:
-                    metrics.merge(wmetrics)
-                if wtracer is not None:
-                    if trace_path is not None:
-                        wtracer.dump(trace_file_for(trace_path, name))
-                    if tracer is not None:
-                        tracer.merge(wtracer)
-                cache.merge_stats(wstats)
+
+        def payload_for(name: str):
+            return (name, scale, verify, isolate, watchdog, retry,
+                    inject.get(name), want_trace, want_metrics, cache_dir,
+                    timeout, checkpoint_every, checkpoint_dir)
+
+        fresh = _run_jobs(todo, jobs, isolate, retry, payload_for, record)
     else:
-        for name in names:
-            ktracer = Tracer() if trace_path is not None else tracer
+        fresh = {}
+        # With a journal armed the serial path mirrors the jobs-mode
+        # contract: per-kernel registries, merged in name order at the
+        # end, so a resume replays identical aggregate streams.
+        per_kernel_obs = jnl is not None
+        for name in todo:
+            if per_kernel_obs:
+                ktracer = (Tracer() if (trace_path is not None
+                                        or tracer is not None) else None)
+                kmetrics = Metrics() if metrics is not None else None
+            else:
+                ktracer = Tracer() if trace_path is not None else tracer
+                kmetrics = metrics
             run, failure = _run_one(
                 name, scale, verify, isolate, watchdog, retry,
-                inject.get(name), ktracer, metrics, cache,
+                inject.get(name), ktracer, kmetrics, cache,
+                timeout, checkpoint_every, checkpoint_dir,
             )
-            if failure is not None:
-                failures[name] = failure
-            else:
-                runs[name] = run
-            if trace_path is not None and ktracer is not None:
-                ktracer.dump(trace_file_for(trace_path, name))
-                if tracer is not None:
-                    tracer.merge(ktracer)
+            entry = JournalEntry(run=run, failure=failure, tracer=ktracer,
+                                 metrics=kmetrics)
+            fresh[name] = entry
+            record(name, entry)
+
+    # -- assemble in *input* order (not completion order): the merged
+    # metrics/trace streams and the report row order are then identical
+    # to an uninterrupted serial sweep.
+    runs: Dict[str, KernelRun] = {}
+    failures: Dict[str, KernelFailure] = {}
+    for name in names:
+        entry = replayed.get(name)
+        if entry is None:
+            entry = fresh.get(name)
+        if entry is None:
+            continue  # unreachable: every todo kernel gets an entry
+        if entry.failure is not None:
+            failures[name] = entry.failure
+        elif entry.run is not None:
+            runs[name] = entry.run
+        if (entry.metrics is not None and metrics is not None
+                and entry.metrics is not metrics):
+            metrics.merge(entry.metrics)
+        if entry.tracer is not None:
+            if trace_path is not None:
+                entry.tracer.dump(trace_file_for(trace_path, name))
+            if tracer is not None and entry.tracer is not tracer:
+                tracer.merge(entry.tracer)
+        if entry.cache_stats is not None:
+            cache.merge_stats(entry.cache_stats)
 
     cache.record_metrics(metrics)
     return SuiteResult(runs, failures)

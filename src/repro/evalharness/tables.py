@@ -66,7 +66,9 @@ class ExperimentTable:
         rows = [
             (str(r[label_idx]), float(r[value_idx]))
             for r in self.rows
-            if isinstance(r[value_idx], (int, float)) and r[value_idx] is not None
+            if isinstance(r[value_idx], (int, float))
+            and r[value_idx] is not None
+            and math.isfinite(r[value_idx])  # NaN rows (empty-sweep means)
         ]
         if not rows:
             return "(no data)"

@@ -210,6 +210,12 @@ class Tracer:
         return json.dumps(self.to_chrome_trace(), indent=indent)
 
     def dump(self, path: str, indent: Optional[int] = None) -> None:
-        """Write the Chrome trace JSON to ``path``."""
-        with open(path, "w") as fh:
-            fh.write(self.to_json(indent=indent))
+        """Write the Chrome trace JSON to ``path`` atomically.
+
+        Routed through :func:`repro.resilience.atomicio` so a crash
+        mid-export leaves either the previous complete trace or the new
+        one — never a truncated JSON that loads as an empty timeline.
+        """
+        from repro.resilience.atomicio import atomic_write_text
+
+        atomic_write_text(path, self.to_json(indent=indent))

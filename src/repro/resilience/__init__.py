@@ -18,6 +18,11 @@ evaluation sweep:
 See ``docs/resilience.md`` for the operator-facing guide.
 """
 
+from repro.resilience.atomicio import (
+    atomic_pickle,
+    atomic_write_bytes,
+    atomic_write_text,
+)
 from repro.resilience.errors import (
     CompileError,
     FaultInjectedError,
@@ -26,6 +31,7 @@ from repro.resilience.errors import (
     SimulationError,
     SimulationHangError,
     VerificationError,
+    WorkerCrashError,
 )
 from repro.resilience.faults import (
     DROP_STALL_CYCLES,
@@ -40,6 +46,7 @@ from repro.resilience.watchdog import (
     ForwardProgressWatchdog,
     WatchdogConfig,
     snapshot_from_replicas,
+    wall_clock_limit,
 )
 
 __all__ = [
@@ -61,5 +68,10 @@ __all__ = [
     "SimulationHangError",
     "VerificationError",
     "WatchdogConfig",
+    "WorkerCrashError",
+    "atomic_pickle",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "snapshot_from_replicas",
+    "wall_clock_limit",
 ]

@@ -12,9 +12,12 @@ know they have a structured, reportable failure instead of a bare
     ├── ``MappingError``      — a graph does not fit a fabric
     │                           (``CapacityError``, ``SGMFUnmappableError``)
     ├── ``SimulationError``   — runtime model protocol violations
-    │       └── ``SimulationHangError`` — deadlock/livelock caught by the
-    │                           forward-progress watchdog; carries a
-    │                           :class:`~repro.resilience.watchdog.DiagnosticSnapshot`
+    │       ├── ``SimulationHangError`` — deadlock/livelock caught by the
+    │       │                   forward-progress watchdog (or a per-kernel
+    │       │                   wall-clock timeout); carries a
+    │       │                   :class:`~repro.resilience.watchdog.DiagnosticSnapshot`
+    │       └── ``WorkerCrashError`` — a ``--jobs`` pool worker died
+    │                           (SIGKILL/OOM) while running a kernel
     ├── ``VerificationError`` — a machine's final memory diverged from
     │                           the reference interpreter
     └── ``FaultInjectedError``— an injected fault deliberately aborted a run
@@ -100,6 +103,17 @@ class SimulationHangError(SimulationError):
         if self.snapshot is not None and hasattr(self.snapshot, "to_dict"):
             out["snapshot"] = self.snapshot.to_dict()
         return out
+
+
+class WorkerCrashError(SimulationError):
+    """A process-pool worker died while running a kernel.
+
+    Raised by the crash-tolerant ``run_suite`` driver when a worker is
+    killed hard (SIGKILL, OOM, segfault) — there is no in-process
+    exception to preserve, so this record is synthesised from the pool's
+    ``BrokenProcessPool`` signal.  Kernels whose crash-retry budget is
+    exhausted become degraded rows carrying this error.
+    """
 
 
 class VerificationError(ReproError):

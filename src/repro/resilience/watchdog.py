@@ -25,6 +25,9 @@ of simulator wall-clock (see ``benchmarks/bench_watchdog_overhead.py``).
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
@@ -228,6 +231,53 @@ class ForwardProgressWatchdog:
             cycle=round(now, 3),
             events_retired=self.events_retired,
         )
+
+
+@contextlib.contextmanager
+def wall_clock_limit(seconds: Optional[float], sim: str, kernel: str):
+    """Bound a simulator run by *host* wall-clock time.
+
+    The simulated-cycle watchdog cannot catch a hang whose simulated
+    clock advances arbitrarily slowly per host second (for example a
+    pathological event storm), so the harness's per-kernel ``timeout``
+    arms this guard around each attempt.  It raises the same
+    :class:`~repro.resilience.errors.SimulationHangError` the watchdog
+    uses, so the existing retry/degraded-row machinery applies
+    unchanged.
+
+    Implemented with ``SIGALRM`` (``signal.setitimer``), which is the
+    only way to interrupt a tight pure-Python loop without cooperation
+    from the loop body.  Outside the main thread, or on platforms
+    without ``SIGALRM``, the guard degrades to a no-op — the
+    simulated-cycle watchdog remains the backstop there.
+
+    ``seconds`` of ``None`` or ``<= 0`` disables the guard.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise SimulationHangError(
+            f"{sim}: wall-clock timeout after {seconds:g}s",
+            sim=sim,
+            kernel=kernel,
+            wall_clock_limit_s=seconds,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def snapshot_from_replicas(

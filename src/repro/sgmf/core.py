@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.arch.config import SGMFConfig
-from repro.engine import EngineRunResult
+from repro.engine import CheckpointMixin, Checkpointer, EngineRunResult
 from repro.ir.instr import TermKind
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType
@@ -80,12 +80,60 @@ class SGMFRunResult(EngineRunResult):
         return 1.0 - self.waste_fires / total if total else 1.0
 
 
-class SGMFCore:
+class SGMFCore(CheckpointMixin):
     """A single SGMF core attached to the standard memory hierarchy."""
+
+    engine = "sgmf"
 
     def __init__(self, config: Optional[SGMFConfig] = None):
         self.config = config or SGMFConfig()
         self._faults: Optional[FaultInjector] = None
+        #: derived per-replica exec plans (rebuilt on restore — the
+        #: plan rows hold function objects and cannot be pickled)
+        self._plans: Optional[List[Dict[str, ExecPlan]]] = None
+        self._waste_units: Optional[List[Dict[str, List[int]]]] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_plans(mapping: SGMFMapping, params: Dict[str, Number],
+                     config: SGMFConfig):
+        """Precompile every block once per replica: the per-thread walk
+        then dispatches on flat tuples instead of re-inspecting DFG
+        nodes (cycle-identical; see docs/performance.md).  Pseudo
+        nodes (wired live values, non-entry initiators) are excluded
+        from the energy accounting, matching the SGMF convention.
+
+        Pure function of ``(mapping, converted params, config)``, all
+        of which a snapshot carries, so a restore rebuilds identical
+        plans."""
+        plans: List[Dict[str, ExecPlan]] = []
+        waste_units: List[Dict[str, List[int]]] = []
+        for ridx in range(mapping.n_replicas):
+            placed = mapping.replicas[ridx]
+            plan_map: Dict[str, ExecPlan] = {}
+            wu_map: Dict[str, List[int]] = {}
+            for name, dfg in mapping.dfgs.items():
+                pl = placed[name]
+                plan_map[name] = build_exec_plan(
+                    dfg, pl.unit_of, pl.edge_hops, params,
+                    config.op_latency, count_pseudo_ops=False,
+                )
+                wu_map[name] = [
+                    pl.unit_of[node.nid]
+                    for node in dfg.nodes
+                    if not node.pseudo
+                ]
+            plans.append(plan_map)
+            waste_units.append(wu_map)
+        return plans, waste_units
+
+    def _after_restore(self, state) -> None:
+        # ``_run_thread`` reads ``self.config``, so a fresh-process
+        # restore must adopt the snapshot's config before resuming.
+        self.config = state["config"]
+        self._plans, self._waste_units = self._build_plans(
+            state["mapping"], state["params"], state["config"]
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -100,6 +148,8 @@ class SGMFCore:
         tracer=None,
         metrics: Optional[Metrics] = None,
         compile_cache=None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_sink=None,
     ) -> SGMFRunResult:
         """Execute the kernel, or raise :class:`SGMFUnmappableError`.
 
@@ -110,6 +160,8 @@ class SGMFCore:
         returned result.  ``compile_cache`` memoises the whole-kernel
         mapping per kernel × fabric config (``SGMFUnmappableError``
         included — the capacity proof is derived once per sweep).
+        ``checkpoint_every`` arms periodic state snapshots at
+        thread-injection boundaries (see ``docs/resilience.md`` §7).
         """
         config = self.config
         # Disabled-mode fast path: one local None-test per hook site.
@@ -134,45 +186,72 @@ class SGMFCore:
             config.memory, l1_write_back=config.l1_write_back, faults=faults,
             tracer=trace,
         )
-        stats = FabricStats()
-        self._waste_fires = 0
-        self._faults = faults
 
         n_replicas = mapping.n_replicas
-        reps = [_ReplicaState(config) for _ in range(n_replicas)]
-        # Precompile every block once per replica: the per-thread walk
-        # then dispatches on flat tuples instead of re-inspecting DFG
-        # nodes (cycle-identical; see docs/performance.md).  Pseudo
-        # nodes (wired live values, non-entry initiators) are excluded
-        # from the energy accounting, matching the SGMF convention.
-        plans: List[Dict[str, ExecPlan]] = []
-        waste_units: List[Dict[str, List[int]]] = []
-        for ridx in range(n_replicas):
-            placed = mapping.replicas[ridx]
-            plan_map: Dict[str, ExecPlan] = {}
-            wu_map: Dict[str, List[int]] = {}
-            for name, dfg in mapping.dfgs.items():
-                pl = placed[name]
-                plan_map[name] = build_exec_plan(
-                    dfg, pl.unit_of, pl.edge_hops, params,
-                    config.op_latency, count_pseudo_ops=False,
-                )
-                wu_map[name] = [
-                    pl.unit_of[node.nid]
-                    for node in dfg.nodes
-                    if not node.pseudo
-                ]
-            plans.append(plan_map)
-            waste_units.append(wu_map)
-        depth = config.token_buffer_depth
+        self._plans, self._waste_units = self._build_plans(
+            mapping, params, config
+        )
         wd = ForwardProgressWatchdog(watchdog, "sgmf", kernel.name)
         wd.start(0.0)
         if faults is not None:
             faults.maybe_abort(f"sgmf/{kernel.name}", 0.0)
 
+        # The whole mutable run state: one pickle of this dict is a
+        # complete checkpoint (thread-injection boundaries only — the
+        # per-thread walk keeps no state across threads beyond ``reps``
+        # and the fabric/memory objects held here).
+        state = {
+            "kernel_name": kernel.name,
+            "clock": 0.0,
+            "config": config,
+            "kernel": kernel,
+            "mapping": mapping,
+            "params": params,
+            "n_threads": n_threads,
+            "memory": memory,
+            "memsys": memsys,
+            "stats": FabricStats(),
+            "faults": faults,
+            "wd": wd,
+            "trace": trace,
+            "tracer": tracer,
+            "metrics": metrics,
+            "max_block_visits": max_block_visits,
+            "n_replicas": n_replicas,
+            "reps": [_ReplicaState(config) for _ in range(n_replicas)],
+            "next_thread": 0,
+            "waste_fires": 0,
+        }
+        self._state = state
+        ck = None
+        if checkpoint_every is not None:
+            ck = Checkpointer(checkpoint_every, checkpoint_sink, start=0.0)
+        return self._drive(state, ck)
+
+    # ------------------------------------------------------------------
+    def _drive(self, st, ck: Optional[Checkpointer]) -> SGMFRunResult:
+        """Advance the state dict to completion (run and resume share
+        this loop)."""
+        config = st["config"]
+        kernel = st["kernel"]
+        kernel_name = st["kernel_name"]
+        memory = st["memory"]
+        memsys = st["memsys"]
+        stats = st["stats"]
+        wd = st["wd"]
+        trace = st["trace"]
+        reps = st["reps"]
+        n_replicas = st["n_replicas"]
+        n_threads = st["n_threads"]
+        max_block_visits = st["max_block_visits"]
+        plans, waste_units = self._plans, self._waste_units
+        depth = config.token_buffer_depth
+        self._faults = st["faults"]
+        self._waste_fires = st["waste_fires"]
+
         def snapshot(now: float):
             snap = snapshot_from_replicas(
-                sim="sgmf", kernel=kernel.name, now=now, replicas=reps,
+                sim="sgmf", kernel=kernel_name, now=now, replicas=reps,
             )
             if trace is not None:
                 # Hang forensics: the last N timeline events show what
@@ -183,8 +262,15 @@ class SGMFCore:
                 trace.instant("snapshot", "watchdog", now, pid="sgmf")
             return snap
 
-        end_time = 0.0
-        for i in range(n_threads):
+        end_time = st["clock"]
+        i = st["next_thread"]
+        while i < n_threads:
+            # Thread-injection boundary: a quiescent checkpoint point.
+            if ck is not None and ck.due(end_time):
+                st["next_thread"] = i
+                st["clock"] = end_time
+                st["waste_fires"] = self._waste_fires
+                self._emit_checkpoint(ck)
             ridx = i % n_replicas
             rep = reps[ridx]
             inject = rep.next_inject
@@ -207,9 +293,25 @@ class SGMFCore:
                     pid="sgmf", tid=ridx, thread=i, replica=ridx,
                 )
             wd.progress(completion)
+            i += 1
+            # Keep the state dict boundary-consistent before the
+            # watchdog can raise: a hang then leaves ``_state`` (and
+            # ``last_snapshot`` checkpoints) resumable as-is.
+            st["next_thread"] = i
+            st["clock"] = end_time
+            st["waste_fires"] = self._waste_fires
             wd.check(end_time, snapshot)
 
-        waste_fires = self._waste_fires
+        st["clock"] = end_time
+        return self._finish(st)
+
+    # ------------------------------------------------------------------
+    def _finish(self, st) -> SGMFRunResult:
+        memsys, stats = st["memsys"], st["stats"]
+        metrics = st["metrics"]
+        end_time = st["clock"]
+        waste_fires = st["waste_fires"]
+        n_threads = st["n_threads"]
         stats.threads = n_threads
         if metrics is not None:
             scope = metrics.scope("sgmf")
@@ -221,19 +323,21 @@ class SGMFCore:
             scope.inc("fabric.node_fires", stats.node_fires)
             scope.inc("fabric.token_hops", stats.token_hops)
             scope.inc("fabric.waste_fires", waste_fires)
-            scope.gauge("fabric.replicas", n_replicas)
+            scope.gauge("fabric.replicas", st["n_replicas"])
 
+        self.last_memory = st["memory"]
+        self._state = None
         return SGMFRunResult(
-            kernel_name=kernel.name,
+            kernel_name=st["kernel_name"],
             n_threads=n_threads,
             cycles=end_time,
             fabric=stats,
             waste_fires=waste_fires,
-            n_replicas=n_replicas,
+            n_replicas=st["n_replicas"],
             l1=memsys.l1_stats,
             l2=memsys.l2_stats,
             dram=memsys.dram.stats,
-        ).attach_obs(tracer, metrics)
+        ).attach_obs(st["tracer"], metrics)
 
     # ------------------------------------------------------------------
     def _run_thread(

@@ -26,13 +26,12 @@ resource timelines.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.arch.config import FermiConfig
 from repro.compiler.cfganalysis import immediate_post_dominators
-from repro.engine import EngineRunResult
+from repro.engine import CheckpointMixin, Checkpointer, EngineRunResult
 from repro.ir.instr import Instr, Op, UnitClass, unit_class
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType, Reg, is_reserved_reg
@@ -42,6 +41,7 @@ from repro.memory.dram import DRAMStats
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.image import MemoryImage
 from repro.obs.metrics import Metrics, record_shared_run_metrics
+from repro.resilience.errors import SimulationHangError
 from repro.resilience.faults import FaultInjector
 from repro.resilience.watchdog import (
     DiagnosticSnapshot,
@@ -137,11 +137,58 @@ class _WarpCtx:
         self.reg_ready: Dict[str, float] = {}
 
 
-class FermiSM:
+class FermiSM(CheckpointMixin):
     """One Fermi-class SM attached to the standard memory hierarchy."""
+
+    engine = "fermi"
 
     def __init__(self, config: Optional[FermiConfig] = None):
         self.config = config or FermiConfig()
+        #: per-block descriptor tables (derived, rebuilt on restore —
+        #: the rows hold function objects and cannot be pickled)
+        self._tables: Optional[Dict[str, tuple]] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_tables(kernel: Kernel,
+                      params: Dict[str, Number]) -> Dict[str, tuple]:
+        """Precompute one descriptor row per instruction so the issue
+        loop never re-derives unit class / register operand lists /
+        FPU-ness per warp (they are per-instruction constants).
+        Cycle-identical: only host-side Python overhead changes.
+
+        Pure function of ``(kernel, converted params)``, both of which
+        a snapshot carries, so a restore rebuilds identical tables."""
+        tables: Dict[str, tuple] = {}
+        for bname, block in kernel.blocks.items():
+            descs = []
+            for instr in block.instrs:
+                cls = unit_class(instr.op)
+                cls_code = (
+                    1 if cls is UnitClass.MEMORY
+                    else 2 if cls is UnitClass.SPECIAL else 0
+                )
+                src_regs = tuple(
+                    s.name for s in instr.srcs if isinstance(s, Reg)
+                )
+                is_fpu = (
+                    instr.op.value.startswith("f")
+                    or instr.op.value == "i2f"
+                )
+                descs.append((instr, cls_code, src_regs, instr.dst, is_fpu,
+                              prepare_instr(instr, params)))
+            term = block.terminator
+            tables[bname] = (
+                descs,
+                term,
+                term.cond is not None,
+                getattr(term.cond, "name", ""),
+                isinstance(term.cond, Reg),
+            )
+        return tables
+
+    def _after_restore(self, state) -> None:
+        self._tables = self._build_tables(state["kernel"], state["params"])
 
     # ------------------------------------------------------------------
     def run(
@@ -155,6 +202,8 @@ class FermiSM:
         tracer=None,
         metrics: Optional[Metrics] = None,
         compile_cache=None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_sink=None,
     ) -> FermiRunResult:
         """Execute ``n_threads`` of ``kernel`` against ``memory``.
 
@@ -164,7 +213,8 @@ class FermiSM:
         receives the run's counters under the ``fermi/`` scope.  Both
         attach to the returned result.  ``compile_cache`` memoises the
         CFG analyses (IPDOM tree, register-pressure estimate) per
-        kernel.
+        kernel.  ``checkpoint_every`` arms periodic state snapshots at
+        warp-event boundaries (see ``docs/resilience.md`` §7).
         """
         config = self.config
         # Disabled-mode fast path: one local None-test per hook site.
@@ -198,36 +248,7 @@ class FermiSM:
             ipdom = immediate_post_dominators(kernel)
             cached_pressure = None
         stats = SMStats()
-        # Precompute one descriptor row per instruction so the issue
-        # loop never re-derives unit class / register operand lists /
-        # FPU-ness per warp (they are per-instruction constants).
-        # Cycle-identical: only host-side Python overhead changes.
-        tables: Dict[str, tuple] = {}
-        for bname, block in kernel.blocks.items():
-            descs = []
-            for instr in block.instrs:
-                cls = unit_class(instr.op)
-                cls_code = (
-                    1 if cls is UnitClass.MEMORY
-                    else 2 if cls is UnitClass.SPECIAL else 0
-                )
-                src_regs = tuple(
-                    s.name for s in instr.srcs if isinstance(s, Reg)
-                )
-                is_fpu = (
-                    instr.op.value.startswith("f")
-                    or instr.op.value == "i2f"
-                )
-                descs.append((instr, cls_code, src_regs, instr.dst, is_fpu,
-                              prepare_instr(instr, params)))
-            term = block.terminator
-            tables[bname] = (
-                descs,
-                term,
-                term.cond is not None,
-                getattr(term.cond, "name", ""),
-                isinstance(term.cond, Reg),
-            )
+        self._tables = self._build_tables(kernel, params)
         wd = ForwardProgressWatchdog(watchdog, "fermi", kernel.name)
         wd.start(0.0)
         if faults is not None:
@@ -252,30 +273,106 @@ class FermiSM:
             stats.register_pressure = pressure
             stats.resident_warps = min(max_resident, n_warps)
 
-        def make_ctx(warp_id: int) -> _WarpCtx:
-            base = warp_id * ws
-            valid = min(ws, n_threads - base)
-            warp = Warp(warp_id, base, ws, valid, params, memory)
-            stack = SIMTStack(kernel.entry, warp.valid_mask, ipdom)
-            return _WarpCtx(warp, stack, kernel.entry)
+        # The whole mutable run state: one pickle of this dict is a
+        # complete checkpoint.  Event ordering uses a plain int
+        # ``counter`` (was ``itertools.count``) and the pending-warp
+        # queue a plain int cursor (was a live ``iter(range(...))``) —
+        # behaviour-identical, but picklable.
+        state = {
+            "kernel_name": kernel.name,
+            "clock": 0.0,
+            "config": config,
+            "kernel": kernel,
+            "params": params,
+            "n_threads": n_threads,
+            "memory": memory,
+            "memsys": memsys,
+            "stats": stats,
+            "ipdom": ipdom,
+            "wd": wd,
+            "trace": trace,
+            "tracer": tracer,
+            "metrics": metrics,
+            "ws": ws,
+            "n_warps": n_warps,
+            "heap": [],
+            "counter": 0,
+            "next_pending": max_resident,
+            "issue_free": 0.0,
+            "ldst_free": 0.0,
+            "sfu_free": 0.0,
+            "alu_free": 0.0,
+            "mshr_outstanding": [],
+            "horizon": 0.0,
+        }
 
-        pending = iter(range(max_resident, n_warps))
-        heap: List = []
-        counter = itertools.count()
+        heap = state["heap"]
         for wid in range(min(max_resident, n_warps)):
-            heapq.heappush(heap, (0.0, next(counter), make_ctx(wid)))
+            heapq.heappush(
+                heap, (0.0, state["counter"], self._make_ctx(state, wid))
+            )
+            state["counter"] += 1
             if trace is not None:
                 trace.instant("warp.launch", "fermi.simt", 0.0,
                               pid="fermi", warp=wid)
 
-        issue_free = 0.0
-        self._ldst_free = 0.0
-        self._sfu_free = 0.0
-        self._alu_free = 0.0
-        self._mshr_outstanding: List[float] = []
-        horizon = 0.0
+        self._state = state
+        ck = None
+        if checkpoint_every is not None:
+            ck = Checkpointer(checkpoint_every, checkpoint_sink, start=0.0)
+        return self._drive(state, ck)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_ctx(st, warp_id: int) -> _WarpCtx:
+        ws = st["ws"]
+        base = warp_id * ws
+        valid = min(ws, st["n_threads"] - base)
+        warp = Warp(warp_id, base, ws, valid, st["params"], st["memory"])
+        stack = SIMTStack(st["kernel"].entry, warp.valid_mask, st["ipdom"])
+        return _WarpCtx(warp, stack, st["kernel"].entry)
+
+    # ------------------------------------------------------------------
+    def _drive(self, st, ck: Optional[Checkpointer]) -> FermiRunResult:
+        """Advance the state dict to completion.
+
+        The hot event loop works on hoisted locals (exactly the
+        variables the pre-checkpoint implementation kept); ``sync``
+        writes them back into the state dict at the only points where a
+        consistent view matters — a checkpoint boundary, a watchdog
+        hang, and completion."""
+        config = st["config"]
+        kernel_name = st["kernel_name"]
+        memsys = st["memsys"]
+        stats = st["stats"]
+        tables = self._tables
+        wd = st["wd"]
+        trace = st["trace"]
+        ws = st["ws"]
+        n_warps = st["n_warps"]
+        heap = st["heap"]
+
+        issue_free = st["issue_free"]
+        self._ldst_free = st["ldst_free"]
+        self._sfu_free = st["sfu_free"]
+        self._alu_free = st["alu_free"]
+        self._mshr_outstanding = st["mshr_outstanding"]
+        horizon = st["horizon"]
+        counter = st["counter"]
+        next_pending = st["next_pending"]
         issue_period = config.issue_period_cycles
         ctx: Optional[_WarpCtx] = None
+
+        def sync(now: float) -> None:
+            st["clock"] = now
+            st["issue_free"] = issue_free
+            st["ldst_free"] = self._ldst_free
+            st["sfu_free"] = self._sfu_free
+            st["alu_free"] = self._alu_free
+            st["mshr_outstanding"] = self._mshr_outstanding
+            st["horizon"] = horizon
+            st["counter"] = counter
+            st["next_pending"] = next_pending
 
         def snapshot(now: float) -> DiagnosticSnapshot:
             stalled: Dict[str, float] = {}
@@ -304,7 +401,7 @@ class FermiSM:
                 trace.instant("snapshot", "watchdog", now, pid="fermi")
             return DiagnosticSnapshot(
                 sim="fermi",
-                kernel=kernel.name,
+                kernel=kernel_name,
                 cycle=now,
                 events_retired=0,
                 last_progress_cycle=0.0,
@@ -319,9 +416,23 @@ class FermiSM:
         heappush = heapq.heappush
         heappop = heapq.heappop
         while heap:
-            t, _, ctx = heappop(heap)
+            # Heap-event boundary: every ctx is parked in the heap, so
+            # the state dict (once synced) is a complete checkpoint.
+            if ck is not None and ck.due(heap[0][0]):
+                sync(heap[0][0])
+                self._emit_checkpoint(ck)
+            t, c, ctx = heappop(heap)
             if wd_armed:
-                wd.check(t, snapshot)
+                try:
+                    wd.check(t, snapshot)
+                except SimulationHangError:
+                    # Re-park the popped warp: the run is then at an
+                    # exact event boundary, so the hang itself leaves a
+                    # resumable snapshot behind.
+                    heappush(heap, (t, c, ctx))
+                    sync(t)
+                    self.last_snapshot = self.snapshot()
+                    raise
             descs, term, has_cond, cond_name, cond_is_reg = tables[ctx.block]
             mask = ctx.stack.current().mask
             active = bin(mask).count("1")
@@ -354,7 +465,8 @@ class FermiSM:
                 if done > horizon:
                     horizon = done
                 ctx.ready = issue + 1.0
-                heappush(heap, (ctx.ready, next(counter), ctx))
+                heappush(heap, (ctx.ready, counter, ctx))
+                counter += 1
                 continue
 
             # Block terminator: a branch instruction.
@@ -396,11 +508,13 @@ class FermiSM:
                         "warp.retire", "fermi.simt", issue + 1.0,
                         pid="fermi", warp=ctx.warp.warp_id,
                     )
-                nxt = next(pending, None)
+                nxt = next_pending if next_pending < n_warps else None
                 if nxt is not None:
+                    next_pending += 1
                     heapq.heappush(
-                        heap, (issue + 1.0, next(counter), make_ctx(nxt))
+                        heap, (issue + 1.0, counter, self._make_ctx(st, nxt))
                     )
+                    counter += 1
                     if trace is not None:
                         trace.instant("warp.launch", "fermi.simt",
                                       issue + 1.0, pid="fermi", warp=nxt)
@@ -408,12 +522,21 @@ class FermiSM:
             ctx.block = next_block
             ctx.idx = 0
             ctx.ready = issue + 1.0
-            heapq.heappush(heap, (ctx.ready, next(counter), ctx))
+            heapq.heappush(heap, (ctx.ready, counter, ctx))
+            counter += 1
 
+        sync(horizon)
+        return self._finish(st)
+
+    # ------------------------------------------------------------------
+    def _finish(self, st) -> FermiRunResult:
+        memsys, stats = st["memsys"], st["stats"]
+        metrics = st["metrics"]
+        horizon = st["horizon"]
         if metrics is not None:
             scope = metrics.scope("fermi")
             record_shared_run_metrics(
-                scope, cycles=horizon, n_threads=n_threads,
+                scope, cycles=horizon, n_threads=st["n_threads"],
                 l1=memsys.l1_stats, l2=memsys.l2_stats,
                 dram=memsys.dram.stats,
             )
@@ -428,15 +551,17 @@ class FermiSM:
             scope.inc("simt.wasted_lane_slots", stats.wasted_lane_slots)
             scope.gauge("simt.simd_efficiency", stats.simd_efficiency)
 
+        self.last_memory = st["memory"]
+        self._state = None
         return FermiRunResult(
-            kernel_name=kernel.name,
-            n_threads=n_threads,
+            kernel_name=st["kernel_name"],
+            n_threads=st["n_threads"],
             cycles=horizon,
             sm=stats,
             l1=memsys.l1_stats,
             l2=memsys.l2_stats,
             dram=memsys.dram.stats,
-        ).attach_obs(tracer, metrics)
+        ).attach_obs(st["tracer"], metrics)
 
     # ------------------------------------------------------------------
     def _dispatch(

@@ -1,0 +1,244 @@
+"""Crash-safe evaluation: atomic I/O, the durable run journal,
+worker-crash recovery, and per-kernel wall-clock timeouts.
+
+Companion to ``tests/test_parallel_suite.py`` (which pins the happy
+paths of the ``--jobs`` pool); this file kills things on purpose.
+See ``docs/resilience.md`` §7.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.engine import EngineSnapshot
+from repro.evalharness.journal import JournalEntry, RunJournal
+from repro.evalharness.report import generate_report
+from repro.evalharness.runner import (
+    KILL_ENV,
+    checkpoint_file_for,
+    run_kernel,
+    run_suite,
+)
+from repro.resilience import FaultSpec, RetryPolicy, WorkerCrashError
+from repro.resilience.atomicio import (
+    atomic_pickle,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+KERNELS = ["nn/euclid", "bfs/Kernel", "kmeans/invert_mapping"]
+SCALE = "tiny"
+
+
+def _report(suite):
+    return generate_report(suite, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """One uninterrupted serial sweep; every scenario must match it."""
+    suite = run_suite(KERNELS, scale=SCALE)
+    return _report(suite)
+
+
+# ---------------------------------------------------------------------
+# atomic I/O (repro.resilience.atomicio)
+# ---------------------------------------------------------------------
+def test_atomic_write_bytes_and_text(tmp_path):
+    p = tmp_path / "sub" / "blob.bin"  # parent dir is created on demand
+    atomic_write_bytes(str(p), b"\x00\x01\x02")
+    assert p.read_bytes() == b"\x00\x01\x02"
+    atomic_write_text(str(p), "after")
+    assert p.read_text() == "after"
+    assert os.listdir(tmp_path / "sub") == ["blob.bin"]  # no temp litter
+
+
+def test_atomic_pickle_roundtrip(tmp_path):
+    p = tmp_path / "value.pkl"
+    atomic_pickle(str(p), {"cycles": 42.0})
+    with open(p, "rb") as fh:
+        assert pickle.load(fh) == {"cycles": 42.0}
+
+
+def test_atomic_pickle_unpicklable_leaves_nothing(tmp_path):
+    p = tmp_path / "value.pkl"
+    with pytest.raises(Exception):
+        atomic_pickle(str(p), lambda: None)
+    assert os.listdir(tmp_path) == []  # no destination, no temp file
+
+
+# ---------------------------------------------------------------------
+# the journal file itself
+# ---------------------------------------------------------------------
+def test_journal_roundtrip(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    j = RunJournal(path, scale=SCALE)
+    j.record("a/b", JournalEntry(run=None, failure=None))
+    loaded = RunJournal.load(path)
+    assert loaded.scale == SCALE
+    assert "a/b" in loaded
+    assert loaded.skipped_lines == 0
+
+
+def test_journal_lines_are_schema_stable(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    RunJournal(path, scale=SCALE).record("a/b", JournalEntry())
+    lines = [json.loads(l) for l in open(path)]
+    assert lines[0]["journal"] == "repro.evalharness.journal"
+    assert lines[0]["scale"] == SCALE
+    entry = lines[1]
+    assert entry["kernel"] == "a/b"
+    assert entry["status"] == "ok"
+    assert set(entry) == {"v", "kernel", "status", "summary", "payload"}
+
+
+def test_journal_tolerates_corrupt_lines(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    RunJournal(path, scale=SCALE).record("a/b", JournalEntry())
+    with open(path, "a") as fh:
+        fh.write("{ not json\n")                      # torn / garbage
+        fh.write('{"v": 999, "kernel": "x"}\n')       # foreign version
+        fh.write('{"v": 1, "kernel": "y", "payload": "AAAA"}\n')  # bad pickle
+    loaded = RunJournal.load(path)
+    assert list(loaded.entries) == ["a/b"]
+    assert loaded.skipped_lines == 3
+
+
+def test_journal_refuses_scale_mismatch(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    RunJournal(path, scale="tiny").flush()
+    with pytest.raises(ValueError, match="scale"):
+        RunJournal.resume(path, scale="small")
+
+
+def test_resume_requires_journal_path():
+    with pytest.raises(ValueError, match="journal"):
+        run_suite(KERNELS[:1], scale=SCALE, resume=True)
+
+
+# ---------------------------------------------------------------------
+# journal + resume through run_suite
+# ---------------------------------------------------------------------
+def test_journaled_sweep_report_unchanged(tmp_path, baseline):
+    path = str(tmp_path / "j.jsonl")
+    suite = run_suite(KERNELS, scale=SCALE, journal=path)
+    assert _report(suite) == baseline
+    assert len(RunJournal.load(path)) == len(KERNELS)
+
+
+def test_resume_after_parent_death_is_byte_identical(tmp_path, baseline):
+    """Simulate a parent killed mid-sweep: keep only the journal's first
+    two kernel entries, then resume.  The resumed report must be
+    byte-identical and the journal complete afterwards."""
+    path = str(tmp_path / "j.jsonl")
+    run_suite(KERNELS, scale=SCALE, journal=path)
+    lines = open(path).read().splitlines()
+    truncated = str(tmp_path / "interrupted.jsonl")
+    with open(truncated, "w") as fh:
+        fh.write("\n".join(lines[:3]) + "\n")  # header + 2 of 3 kernels
+
+    resumed = run_suite(KERNELS, scale=SCALE, journal=truncated, resume=True)
+    assert _report(resumed) == baseline
+    assert len(RunJournal.load(truncated)) == len(KERNELS)
+
+
+def test_resume_with_nothing_to_do_is_byte_identical(tmp_path, baseline):
+    path = str(tmp_path / "j.jsonl")
+    run_suite(KERNELS, scale=SCALE, journal=path)
+    replayed = run_suite(KERNELS, scale=SCALE, journal=path, resume=True)
+    assert _report(replayed) == baseline
+
+
+def test_resume_replays_identical_fault_logs(tmp_path):
+    """Satellite (c): the fault spec travels in the worker payload and
+    the retry seeds are deterministic, so a resumed sweep reproduces the
+    degraded row's fault logs byte for byte."""
+    inject = {"bfs/Kernel": FaultSpec(kind="abort", seed=3, rate=1.0)}
+    full = run_suite(KERNELS, scale=SCALE, inject=inject)
+    assert full.degraded == ["bfs/Kernel"]
+    want_logs = json.dumps(full.failure_logs(), sort_keys=True)
+
+    # journal the sweep, then drop the degraded kernel's entry and
+    # resume: it re-runs, replaying the identical campaign
+    path = str(tmp_path / "j.jsonl")
+    run_suite(KERNELS, scale=SCALE, inject=inject, journal=path)
+    keep = [l for l in open(path).read().splitlines()
+            if '"bfs/Kernel"' not in l]
+    truncated = str(tmp_path / "interrupted.jsonl")
+    with open(truncated, "w") as fh:
+        fh.write("\n".join(keep) + "\n")
+
+    resumed = run_suite(KERNELS, scale=SCALE, inject=inject,
+                        journal=truncated, resume=True)
+    assert json.dumps(resumed.failure_logs(), sort_keys=True) == want_logs
+    assert _report(resumed) == _report(full)
+
+
+# ---------------------------------------------------------------------
+# worker-crash recovery (SIGKILL mid-suite)
+# ---------------------------------------------------------------------
+def test_suite_survives_worker_sigkill(tmp_path, baseline, monkeypatch):
+    """Satellite (a): SIGKILL a pool worker mid-kernel.  The driver
+    respawns the pool, requeues the victims, and the finished sweep is
+    byte-identical to an uninterrupted serial one."""
+    token = tmp_path / "kill.token"
+    token.write_text("once")
+    monkeypatch.setenv(KILL_ENV, f"bfs/Kernel:{token}")
+
+    journal = str(tmp_path / "j.jsonl")
+    suite = run_suite(KERNELS, scale=SCALE, jobs=2, journal=journal)
+
+    assert not token.exists(), "the kill hook never fired"
+    assert suite.ok, f"unexpected degraded rows: {suite.degraded}"
+    assert _report(suite) == baseline
+    assert len(RunJournal.load(journal)) == len(KERNELS)
+
+
+def test_exhausted_crash_budget_degrades(tmp_path, monkeypatch):
+    """A kernel that keeps killing workers becomes a degraded row
+    carrying WorkerCrashError instead of looping forever."""
+    token = tmp_path / "kill.token"
+    token.write_text("once")
+    monkeypatch.setenv(KILL_ENV, f"nn/euclid:{token}")
+
+    # max_attempts=1 → a single crash exhausts the budget; a one-kernel
+    # sweep keeps the in-flight window at 1, so nothing else is blamed.
+    suite = run_suite(["nn/euclid"], scale=SCALE, jobs=2,
+                      retry=RetryPolicy(max_attempts=1))
+    assert suite.degraded == ["nn/euclid"]
+    failure = suite.failures["nn/euclid"]
+    assert failure.error_type == "WorkerCrashError"
+    assert "worker process died" in failure.message
+
+
+def test_worker_crash_propagates_without_isolation(tmp_path, monkeypatch):
+    token = tmp_path / "kill.token"
+    token.write_text("once")
+    monkeypatch.setenv(KILL_ENV, f"nn/euclid:{token}")
+    with pytest.raises(WorkerCrashError):
+        run_suite(["nn/euclid"], scale=SCALE, jobs=2, isolate=False)
+
+
+# ---------------------------------------------------------------------
+# wall-clock timeout + persisted checkpoints
+# ---------------------------------------------------------------------
+def test_wall_clock_timeout_degrades_kernel():
+    suite = run_suite(["nn/euclid"], scale=SCALE, timeout=1e-3)
+    assert suite.degraded == ["nn/euclid"]
+    failure = suite.failures["nn/euclid"]
+    assert failure.error_type == "SimulationHangError"
+    assert "wall-clock timeout" in failure.message
+
+
+def test_run_kernel_persists_checkpoints(tmp_path):
+    ckpt_dir = str(tmp_path / "ckpt")
+    run_kernel("nn/euclid", scale=SCALE, checkpoint_every=100.0,
+               checkpoint_dir=ckpt_dir)
+    for engine in ("fermi", "vgiw", "sgmf"):
+        path = checkpoint_file_for(ckpt_dir, "nn/euclid", engine)
+        snap = EngineSnapshot.load(path)
+        assert snap.engine == engine
+        assert snap.kernel_name  # self-describing
+        assert snap.cycle > 0.0
