@@ -63,6 +63,7 @@ __all__ = [
     "create_engine",
     "engine_names",
     "register_engine",
+    "unknown_engine_error",
 ]
 
 Number = Union[int, float, bool]
@@ -374,7 +375,34 @@ class Engine(Protocol):
 # Backend registry
 # ----------------------------------------------------------------------
 class UnknownEngineError(KeyError):
-    """Backend name not present in the engine registry."""
+    """Backend name not present in the engine registry.
+
+    ``KeyError.__str__`` would wrap the message in quotes (it renders
+    the missing *key*); the override keeps the rendered message usable
+    verbatim, so :class:`~repro.host.Device` can surface it unchanged.
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+def unknown_engine_error(name: str) -> UnknownEngineError:
+    """Build the registry's unknown-backend error for ``name``.
+
+    The message lists every registered backend and, when the name looks
+    like a typo of one of them, the nearest match.  Shared by
+    :func:`create_engine` and :class:`~repro.host.Device` so the two
+    entry points report identically.
+    """
+    import difflib
+
+    names = engine_names()
+    message = (f"unknown backend {name!r}; registered engines: "
+               f"{', '.join(names)}")
+    close = difflib.get_close_matches(name, names, n=1, cutoff=0.5)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return UnknownEngineError(message)
 
 
 #: name -> factory(config) -> engine instance
@@ -420,9 +448,7 @@ def create_engine(name: str, config: Optional[Any] = None):
     if factory is None:
         builtin = _BUILTIN.get(name)
         if builtin is None:
-            raise UnknownEngineError(
-                f"unknown backend {name!r}; registered: {engine_names()}"
-            )
+            raise unknown_engine_error(name)
         module, attr = builtin
         factory = getattr(import_module(module), attr)
         _REGISTRY[name] = factory

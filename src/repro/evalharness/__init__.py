@@ -14,6 +14,7 @@ from repro.evalharness.experiments import (
     table2_benchmarks,
 )
 from repro.evalharness.journal import JournalEntry, RunJournal
+from repro.evalharness.options import RunOptions
 from repro.evalharness.report import generate_report
 from repro.evalharness.runner import (
     KernelRun,
@@ -33,6 +34,7 @@ __all__ = [
     "JournalEntry",
     "KernelRun",
     "RunJournal",
+    "RunOptions",
     "SuiteResult",
     "VerificationError",
     "arithmean",

@@ -53,6 +53,7 @@ import sys
 import time
 
 from repro.evalharness.journal import RunJournal
+from repro.evalharness.options import RunOptions
 from repro.evalharness.report import generate_report
 from repro.evalharness.runner import run_suite, trace_file_for
 from repro.evalharness.serialize import runs_to_json
@@ -172,15 +173,17 @@ def main(argv=None) -> int:
 
     metrics = Metrics() if args.metrics else None
 
+    options = RunOptions(scale=args.scale, isolate=not args.no_isolate,
+                         watchdog=watchdog, inject=inject,
+                         metrics=metrics, jobs=args.jobs,
+                         cache_dir=args.cache_dir, trace_path=args.trace,
+                         journal=journal, resume=args.resume is not None,
+                         timeout=args.timeout,
+                         checkpoint_every=args.checkpoint_every,
+                         checkpoint_dir=args.checkpoint_dir)
+
     t0 = time.time()
-    runs = run_suite(names, scale=args.scale, isolate=not args.no_isolate,
-                     watchdog=watchdog, inject=inject,
-                     metrics=metrics, jobs=args.jobs,
-                     cache_dir=args.cache_dir, trace_path=args.trace,
-                     journal=journal, resume=args.resume is not None,
-                     timeout=args.timeout,
-                     checkpoint_every=args.checkpoint_every,
-                     checkpoint_dir=args.checkpoint_dir)
+    runs = run_suite(names, options=options)
     report = generate_report(runs, scale=args.scale, metrics=metrics)
     elapsed = time.time() - t0
 

@@ -115,6 +115,9 @@ class RunJournal:
         self._order: List[str] = []
         #: lines ``load`` could not understand (corrupt / foreign version)
         self.skipped_lines = 0
+        #: optional greppable description of the sweep's RunOptions,
+        #: stamped into the header line (see :meth:`for_options`)
+        self.options_summary: Optional[Dict[str, Any]] = None
 
     def __contains__(self, name: str) -> bool:
         return name in self.entries
@@ -136,11 +139,11 @@ class RunJournal:
 
     def flush(self) -> None:
         """Atomically rewrite the journal file (header + every entry)."""
-        lines = [json.dumps(
-            {"v": JOURNAL_VERSION, "journal": _HEADER_KIND,
-             "scale": self.scale},
-            sort_keys=True,
-        )]
+        header = {"v": JOURNAL_VERSION, "journal": _HEADER_KIND,
+                  "scale": self.scale}
+        if self.options_summary:
+            header["options"] = self.options_summary
+        lines = [json.dumps(header, sort_keys=True)]
         for name in self._order:
             lines.append(self._entry_line(name, self.entries[name]))
         atomic_write_text(self.path, "\n".join(lines) + "\n",
@@ -210,4 +213,21 @@ class RunJournal:
                 f"journal {path!r} was recorded at scale "
                 f"{journal.scale!r}; refusing to resume at {scale!r}")
         journal.scale = scale
+        return journal
+
+    @classmethod
+    def for_options(cls, path: str, options: Any, resume: bool = False,
+                    fsync: bool = True) -> "RunJournal":
+        """Journal for a sweep described by a
+        :class:`~repro.evalharness.options.RunOptions`.
+
+        The entry point ``run_suite`` uses: the journal's scale comes
+        from ``options.scale``, a greppable ``options`` summary is
+        stamped into the header line, and ``resume=True`` reloads an
+        existing journal at ``path`` (refusing a scale mismatch, like
+        :meth:`resume`).
+        """
+        journal = (cls.resume(path, options.scale, fsync=fsync) if resume
+                   else cls(path, options.scale, fsync=fsync))
+        journal.options_summary = options.summary()
         return journal

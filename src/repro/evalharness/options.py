@@ -1,0 +1,213 @@
+"""``RunOptions``: one value object for every execution option.
+
+``run_kernel`` grew to a 13-keyword signature and ``run_suite`` to a
+15-keyword one; every new capability (watchdogs, fault campaigns,
+tracing, compile caching, journals, checkpoints) widened both, and the
+new :mod:`repro.serve` request types would have had to mirror the whole
+sprawl a third time.  :class:`RunOptions` consolidates the execution
+options into a single frozen dataclass that ``run_kernel``,
+``run_suite``, the ``repro.evalharness`` CLI, the run journal, and the
+serving layer all consume::
+
+    from repro.evalharness import RunOptions, run_kernel
+
+    opts = RunOptions(scale="tiny", verify=True)
+    run = run_kernel("nn/euclid", options=opts)
+
+Legacy keyword call sites keep working through one documented adapter:
+``run_kernel(name, scale, verify=..., watchdog=..., ...)`` is folded
+into a ``RunOptions`` by :meth:`RunOptions.from_kwargs` and emits a
+single ``DeprecationWarning`` naming the keywords used (``scale`` —
+positional or keyword — stays first-class and does not warn).
+
+Field groups
+------------
+
+========================  ==============================================
+workload                  ``scale``
+correctness               ``verify`` (golden-interpreter check),
+                          ``optimize`` (per-launch optimisation pipeline)
+architecture              ``vgiw_config`` / ``fermi_config`` /
+                          ``sgmf_config``
+resilience                ``watchdog``, ``retry``, ``isolate``,
+                          ``faults`` (single-run injector),
+                          ``inject`` (per-kernel suite campaigns),
+                          ``timeout`` (host-seconds wall-clock budget)
+observability             ``tracer``, ``metrics``, ``trace_path``
+compilation               ``cache``, ``cache_dir``
+crash safety              ``journal``, ``resume``,
+                          ``checkpoint_every``, ``checkpoint_dir``
+parallelism               ``jobs``
+========================  ==============================================
+
+Suite-only fields (``retry``, ``isolate``, ``inject``, ``trace_path``,
+``journal``, ``resume``, ``jobs``) are ignored by ``run_kernel``; the
+legacy adapter still rejects them there (they were never accepted), so
+no call site silently changes meaning.
+
+The class is frozen: derive variants with :meth:`replace`
+(``opts.replace(scale="medium")``).  :meth:`fingerprint` returns a
+stable content key over the *pure* fields — the batching scheduler in
+:mod:`repro.serve` uses it to decide which requests may share one
+execution.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace as _dc_replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["RunOptions"]
+
+#: Legacy keywords ``run_kernel`` historically accepted (beyond scale).
+KERNEL_KWARGS: Tuple[str, ...] = (
+    "verify", "optimize", "vgiw_config", "fermi_config", "sgmf_config",
+    "watchdog", "faults", "tracer", "metrics", "cache",
+    "checkpoint_every", "checkpoint_dir",
+)
+
+#: Legacy keywords ``run_suite`` historically accepted (beyond scale).
+SUITE_KWARGS: Tuple[str, ...] = (
+    "verify", "isolate", "watchdog", "retry", "inject", "tracer",
+    "metrics", "jobs", "cache", "cache_dir", "trace_path", "journal",
+    "resume", "timeout", "checkpoint_every", "checkpoint_dir",
+)
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Frozen bundle of every execution option (see module docstring)."""
+
+    # -- workload ------------------------------------------------------
+    scale: str = "small"
+    # -- correctness ---------------------------------------------------
+    verify: bool = True
+    optimize: bool = True
+    # -- architecture configs ------------------------------------------
+    vgiw_config: Optional[Any] = None
+    fermi_config: Optional[Any] = None
+    sgmf_config: Optional[Any] = None
+    # -- resilience ----------------------------------------------------
+    watchdog: Optional[Any] = None
+    retry: Optional[Any] = None
+    isolate: bool = True
+    faults: Optional[Any] = None
+    inject: Optional[Mapping[str, Any]] = None
+    timeout: Optional[float] = None
+    # -- observability -------------------------------------------------
+    tracer: Optional[Any] = None
+    metrics: Optional[Any] = None
+    trace_path: Optional[str] = None
+    # -- compilation ---------------------------------------------------
+    cache: Optional[Any] = None
+    cache_dir: Optional[str] = None
+    # -- crash safety --------------------------------------------------
+    journal: Optional[str] = None
+    resume: bool = False
+    checkpoint_every: Optional[float] = None
+    checkpoint_dir: Optional[str] = None
+    # -- parallelism ---------------------------------------------------
+    jobs: int = 1
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_kwargs(cls, _warn: bool = True, _allowed: Optional[Tuple[str, ...]] = None,
+                    **kwargs: Any) -> "RunOptions":
+        """Fold a legacy keyword call into a :class:`RunOptions`.
+
+        This is *the* adapter behind the deprecated ``run_kernel`` /
+        ``run_suite`` keyword surface: unknown names raise ``TypeError``
+        (exactly as the old signatures did), and any accepted legacy
+        keyword emits one ``DeprecationWarning`` listing the names used.
+        ``scale`` is exempt — it remains first-class.  Pass
+        ``_warn=False`` for internal, non-deprecated construction.
+        """
+        allowed = set(_allowed if _allowed is not None
+                      else tuple(f.name for f in fields(cls)))
+        allowed.add("scale")
+        unknown = sorted(set(kwargs) - allowed)
+        if unknown:
+            raise TypeError(
+                f"unexpected keyword argument(s): {', '.join(unknown)}"
+            )
+        legacy = sorted(set(kwargs) - {"scale"})
+        if legacy and _warn:
+            warnings.warn(
+                f"passing execution options as keywords "
+                f"({', '.join(legacy)}) is deprecated; construct a "
+                f"repro.evalharness.RunOptions and pass options=...",
+                DeprecationWarning, stacklevel=3,
+            )
+        return cls(**kwargs)
+
+    def to_kwargs(self, include_defaults: bool = False) -> Dict[str, Any]:
+        """The options as the historical keyword mapping.
+
+        By default only non-default fields are emitted, so the result
+        round-trips through :meth:`from_kwargs` and reads like the
+        minimal legacy call.  ``include_defaults=True`` emits every
+        field.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if include_defaults or value != f.default:
+                out[f.name] = value
+        return out
+
+    def replace(self, **changes: Any) -> "RunOptions":
+        """A copy with ``changes`` applied (the class is frozen)."""
+        return _dc_replace(self, **changes)
+
+    # -- identity ------------------------------------------------------
+    #: fields that carry live, process-local objects; excluded from the
+    #: fingerprint and forbidden in repro.serve submissions (the service
+    #: owns its own registries and caches).
+    LIVE_FIELDS: Tuple[str, ...] = ("tracer", "metrics", "cache", "faults")
+
+    def fingerprint(self) -> str:
+        """Stable content key over the pure (value-like) fields.
+
+        Two options objects with equal fingerprints request the same
+        execution semantics: same scale, verification, optimisation,
+        architecture configs, watchdog/retry/fault campaign, and
+        timeout.  Reporting/persistence knobs that cannot change a
+        result (``trace_path``, ``journal``, ``resume``, ``jobs``,
+        ``cache_dir``, checkpoints) are excluded, as are the live-object
+        fields.  :mod:`repro.serve` batches requests whose kernel and
+        fingerprint match.
+        """
+        skip = set(self.LIVE_FIELDS) | {
+            "trace_path", "journal", "resume", "jobs", "cache_dir",
+            "checkpoint_every", "checkpoint_dir",
+        }
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self) if f.name not in skip
+        ]
+        return "|".join(parts)
+
+    def summary(self) -> Dict[str, Any]:
+        """Small, JSON-able description of the non-default fields.
+
+        Scalar fields are emitted verbatim; object-valued fields
+        (configs, watchdog, live registries) as their ``repr``.  The
+        run journal stamps this into its header line so a resumed
+        sweep's options are greppable on disk.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                out[f.name] = value
+            else:
+                out[f.name] = repr(value)
+        return out
+
+    def live_fields_set(self) -> Tuple[str, ...]:
+        """Names of :data:`LIVE_FIELDS` that are non-``None`` here."""
+        return tuple(n for n in self.LIVE_FIELDS
+                     if getattr(self, n) is not None)

@@ -56,9 +56,9 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
-from repro.arch.config import FermiConfig, SGMFConfig, VGIWConfig
 from repro.compiler.cache import CompileCache, cached_optimize_kernel
 from repro.evalharness.journal import JournalEntry, RunJournal
+from repro.evalharness.options import KERNEL_KWARGS, SUITE_KWARGS, RunOptions
 from repro.interp import interpret
 from repro.kernels.base import Workload
 from repro.kernels.registry import all_names, make_workload
@@ -76,7 +76,6 @@ from repro.resilience import (
     KernelFailure,
     ReproError,
     RetryPolicy,
-    WatchdogConfig,
     WorkerCrashError,
     wall_clock_limit,
 )
@@ -88,6 +87,7 @@ from repro.vgiw import VGIWCore, VGIWRunResult
 
 __all__ = [
     "KernelRun",
+    "RunOptions",
     "SuiteResult",
     "VerificationError",
     "checkpoint_file_for",
@@ -187,44 +187,92 @@ def _save_hang_snapshot(core, checkpoint_dir: Optional[str],
         pass
 
 
+def _resolve_options(scale: Optional[str], options: Optional[RunOptions],
+                     legacy: Dict[str, object],
+                     allowed: tuple) -> RunOptions:
+    """Shared front door of ``run_kernel`` / ``run_suite``.
+
+    Exactly one of the two call styles is accepted: the consolidated
+    ``options=RunOptions(...)`` object, or the historical keyword
+    sprawl (folded through :meth:`RunOptions.from_kwargs`, which emits
+    the ``DeprecationWarning``).  A positional/keyword ``scale`` stays
+    first-class and composes with ``options`` only when it does not
+    conflict.
+    """
+    if options is not None:
+        if legacy:
+            raise TypeError(
+                "pass either options=RunOptions(...) or legacy keywords, "
+                f"not both (got keywords: {', '.join(sorted(legacy))})"
+            )
+        if scale is not None and scale != options.scale:
+            raise TypeError(
+                f"scale={scale!r} conflicts with options.scale="
+                f"{options.scale!r}; set it on the RunOptions"
+            )
+        return options
+    if scale is not None:
+        legacy = dict(legacy, scale=scale)
+    return RunOptions.from_kwargs(_allowed=allowed, **legacy)
+
+
 def run_kernel(
     name: str,
-    scale: str = "small",
-    verify: bool = True,
-    vgiw_config: Optional[VGIWConfig] = None,
-    fermi_config: Optional[FermiConfig] = None,
-    sgmf_config: Optional[SGMFConfig] = None,
-    optimize: bool = True,
-    watchdog: Optional[WatchdogConfig] = None,
-    faults: Optional[FaultInjector] = None,
-    tracer: Optional[Tracer] = None,
-    metrics: Optional[Metrics] = None,
-    cache: Optional[CompileCache] = None,
-    checkpoint_every: Optional[float] = None,
-    checkpoint_dir: Optional[str] = None,
+    scale: Optional[str] = None,
+    options: Optional[RunOptions] = None,
+    **legacy,
 ) -> KernelRun:
     """Run one registry workload on all three machines.
 
-    ``watchdog`` arms the forward-progress watchdog in every simulator;
-    ``faults`` threads a (single-run) fault injector through them.
-    ``tracer`` / ``metrics`` (see :mod:`repro.obs`) are shared by the
-    three machines — engines write to distinct trace ``pid`` lanes and
-    metric scopes, so one export carries the whole cross-machine
-    comparison.  ``cache`` (a
+    The execution options travel in one :class:`RunOptions` value
+    object (``options=``); the historical keyword surface (``verify``,
+    ``optimize``, per-machine configs, ``watchdog``, ``faults``,
+    ``tracer``/``metrics``, ``cache``, ``checkpoint_every``/
+    ``checkpoint_dir``) keeps working through the documented
+    deprecation adapter (:meth:`RunOptions.from_kwargs`) and emits a
+    ``DeprecationWarning``; ``scale`` stays first-class.  See
+    ``docs/api.md`` for the field-by-field reference.
+
+    Option semantics: ``watchdog`` arms the forward-progress watchdog
+    in every simulator; ``faults`` threads a (single-run) fault
+    injector through them.  ``tracer`` / ``metrics`` (see
+    :mod:`repro.obs`) are shared by the three machines — engines write
+    to distinct trace ``pid`` lanes and metric scopes, so one export
+    carries the whole cross-machine comparison.  ``cache`` (a
     :class:`repro.compiler.CompileCache`) memoises the per-kernel pure
     computations — the optimisation pipeline, VGIW place & route, the
     SGMF whole-kernel mapping, the Fermi CFG analyses — across runs
-    (``run_suite`` threads one through the whole sweep).
+    (``run_suite`` threads one through the whole sweep; with no
+    ``cache`` but a ``cache_dir`` a fresh disk-backed cache is built
+    here).  ``timeout`` bounds the run in host wall-clock seconds.
     ``checkpoint_every`` arms periodic engine snapshots every N
     simulated cycles; with ``checkpoint_dir`` each engine's newest
     snapshot is persisted (atomically) to
     ``DIR/<kernel>.<engine>.ckpt``, and a watchdog-detected hang
     additionally saves a ``.hang.ckpt`` post-mortem (see
-    ``docs/resilience.md`` §7).  Everything defaults to off, so the
-    measurement path is unchanged.
+    ``docs/resilience.md`` §7).  Suite-only fields (``retry``,
+    ``isolate``, ``inject``, ``jobs``, ``journal``/``resume``,
+    ``trace_path``) are ignored here.  Everything defaults to off, so
+    the measurement path is unchanged.
     """
-    workload = make_workload(name, scale)
-    if optimize:
+    o = _resolve_options(scale, options, legacy, KERNEL_KWARGS)
+    cache = o.cache
+    if cache is None and o.cache_dir is not None:
+        cache = CompileCache(o.cache_dir)
+    with wall_clock_limit(o.timeout, sim="run_kernel", kernel=name):
+        return _execute_kernel(name, o, cache)
+
+
+def _execute_kernel(name: str, o: RunOptions,
+                    cache: Optional[CompileCache]) -> KernelRun:
+    """The measurement path proper: one workload, three machines.
+
+    Takes a fully-resolved :class:`RunOptions` (no adapter, no
+    wall-clock guard — ``_run_one`` and ``repro.serve`` arm their own,
+    per attempt)."""
+    workload = make_workload(name, o.scale)
+    tracer, metrics = o.tracer, o.metrics
+    if o.optimize:
         kernel = cached_optimize_kernel(
             workload.kernel, params=workload.params, cache=cache
         )
@@ -238,7 +286,7 @@ def run_kernel(
         kernel = sgmf_kernel = workload.kernel
 
     golden = None
-    if verify:
+    if o.verify:
         golden = workload.memory.clone()
         interpret(kernel, golden, workload.params, workload.n_threads)
 
@@ -252,50 +300,53 @@ def run_kernel(
             )
 
     mem_f = workload.memory.clone()
-    fermi_core = FermiSM(fermi_config)
+    fermi_core = FermiSM(o.fermi_config)
     try:
         fermi = fermi_core.run(
             kernel, mem_f, workload.params, workload.n_threads,
-            watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
-            compile_cache=cache, checkpoint_every=checkpoint_every,
-            checkpoint_sink=_checkpoint_sink(checkpoint_dir, name, "fermi"),
+            watchdog=o.watchdog, faults=o.faults, tracer=tracer,
+            metrics=metrics, compile_cache=cache,
+            checkpoint_every=o.checkpoint_every,
+            checkpoint_sink=_checkpoint_sink(o.checkpoint_dir, name, "fermi"),
         )
     except SimulationHangError as exc:
-        _save_hang_snapshot(fermi_core, checkpoint_dir, name, exc)
+        _save_hang_snapshot(fermi_core, o.checkpoint_dir, name, exc)
         raise
     check(mem_f, "Fermi")
 
     mem_v = workload.memory.clone()
-    vgiw_core = VGIWCore(vgiw_config)
+    vgiw_core = VGIWCore(o.vgiw_config)
     try:
         vgiw = vgiw_core.run(
             kernel, mem_v, workload.params, workload.n_threads, profile=True,
-            watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
-            compile_cache=cache, checkpoint_every=checkpoint_every,
-            checkpoint_sink=_checkpoint_sink(checkpoint_dir, name, "vgiw"),
+            watchdog=o.watchdog, faults=o.faults, tracer=tracer,
+            metrics=metrics, compile_cache=cache,
+            checkpoint_every=o.checkpoint_every,
+            checkpoint_sink=_checkpoint_sink(o.checkpoint_dir, name, "vgiw"),
         )
     except SimulationHangError as exc:
-        _save_hang_snapshot(vgiw_core, checkpoint_dir, name, exc)
+        _save_hang_snapshot(vgiw_core, o.checkpoint_dir, name, exc)
         raise
     check(mem_v, "VGIW")
 
     sgmf: Optional[SGMFRunResult] = None
     sgmf_bd: Optional[EnergyBreakdown] = None
-    sgmf_core = SGMFCore(sgmf_config)
+    sgmf_core = SGMFCore(o.sgmf_config)
     try:
         mem_s = workload.memory.clone()
         sgmf = sgmf_core.run(
             sgmf_kernel, mem_s, workload.params, workload.n_threads,
-            watchdog=watchdog, faults=faults, tracer=tracer, metrics=metrics,
-            compile_cache=cache, checkpoint_every=checkpoint_every,
-            checkpoint_sink=_checkpoint_sink(checkpoint_dir, name, "sgmf"),
+            watchdog=o.watchdog, faults=o.faults, tracer=tracer,
+            metrics=metrics, compile_cache=cache,
+            checkpoint_every=o.checkpoint_every,
+            checkpoint_sink=_checkpoint_sink(o.checkpoint_dir, name, "sgmf"),
         )
         check(mem_s, "SGMF")
         sgmf_bd = energy_sgmf(sgmf)
     except SGMFUnmappableError:
         pass
     except SimulationHangError as exc:
-        _save_hang_snapshot(sgmf_core, checkpoint_dir, name, exc)
+        _save_hang_snapshot(sgmf_core, o.checkpoint_dir, name, exc)
         raise
 
     return KernelRun(
@@ -361,39 +412,29 @@ class SuiteResult(Mapping):
 
 def _run_one(
     name: str,
-    scale: str,
-    verify: bool,
-    isolate: bool,
-    watchdog: Optional[WatchdogConfig],
-    retry: RetryPolicy,
+    opts: RunOptions,
     spec: Optional[FaultSpec],
-    tracer: Optional[Tracer],
-    metrics: Optional[Metrics],
     cache: Optional[CompileCache],
-    timeout: Optional[float] = None,
-    checkpoint_every: Optional[float] = None,
-    checkpoint_dir: Optional[str] = None,
 ):
     """One kernel of a sweep, with PR 1's retry/degraded-row machinery.
 
-    Returns ``(run, None)`` on success or ``(None, failure)`` when the
-    kernel exhausted its retries.  With ``isolate=False`` the first
-    failure propagates (the historical behaviour).  ``timeout`` bounds
-    each attempt in host wall-clock seconds via
-    :func:`~repro.resilience.wall_clock_limit`; the resulting
-    ``SimulationHangError`` flows through the same retry machinery as a
-    watchdog hang.  Shared verbatim by the serial loop and the
-    ``--jobs`` worker so the two paths cannot drift.
+    ``opts`` is the sweep's resolved :class:`RunOptions` with the
+    per-kernel tracer/metrics already substituted in (``opts.retry``
+    must be materialised).  Returns ``(run, None)`` on success or
+    ``(None, failure)`` when the kernel exhausted its retries.  With
+    ``opts.isolate=False`` the first failure propagates (the historical
+    behaviour).  ``opts.timeout`` bounds each attempt in host
+    wall-clock seconds via :func:`~repro.resilience.wall_clock_limit`;
+    the resulting ``SimulationHangError`` flows through the same retry
+    machinery as a watchdog hang.  Shared verbatim by the serial loop,
+    the ``--jobs`` worker, and the :mod:`repro.serve` execution pool so
+    the paths cannot drift.
     """
-    if not isolate:
+    retry = opts.retry
+    if not opts.isolate:
         injector = FaultInjector(spec) if spec is not None else None
-        with wall_clock_limit(timeout, sim="suite", kernel=name):
-            run = run_kernel(
-                name, scale, verify=verify, watchdog=watchdog,
-                faults=injector, tracer=tracer, metrics=metrics, cache=cache,
-                checkpoint_every=checkpoint_every,
-                checkpoint_dir=checkpoint_dir,
-            )
+        with wall_clock_limit(opts.timeout, sim="suite", kernel=name):
+            run = _execute_kernel(name, opts.replace(faults=injector), cache)
         return run, None
 
     attempts: List[AttemptRecord] = []
@@ -402,15 +443,11 @@ def _run_one(
             FaultInjector(spec.reseeded(retry.seed_delta(attempt)))
             if spec is not None else None
         )
-        wd = retry.budget_for(watchdog, attempt)
+        wd = retry.budget_for(opts.watchdog, attempt)
         try:
-            with wall_clock_limit(timeout, sim="suite", kernel=name):
-                run = run_kernel(
-                    name, scale, verify=verify, watchdog=wd,
-                    faults=injector, tracer=tracer, metrics=metrics,
-                    cache=cache, checkpoint_every=checkpoint_every,
-                    checkpoint_dir=checkpoint_dir,
-                )
+            with wall_clock_limit(opts.timeout, sim="suite", kernel=name):
+                run = _execute_kernel(
+                    name, opts.replace(faults=injector, watchdog=wd), cache)
             return run, None
         except ReproError as exc:
             attempts.append(
@@ -447,23 +484,21 @@ def _suite_worker(payload):
 
     Module top-level (picklable under every start method).  The worker
     builds its *own* tracer / metrics registry / compile cache — no
-    state is shared with the parent — and ships them back with the
-    result; the parent merges them in deterministic kernel order.  A
-    ``cache_dir`` gives the workers a shared persistent tier (the disk
-    writes are atomic, so concurrent workers are safe).  The fault spec
-    and watchdog config travel inside the payload, so a requeued or
+    state is shared with the parent (``opts`` arrives with the live
+    fields stripped) — and ships them back with the result; the parent
+    merges them in deterministic kernel order.  ``opts.cache_dir``
+    gives the workers a shared persistent tier (the disk writes are
+    atomic, so concurrent workers are safe).  The fault spec and
+    watchdog config travel inside the payload, so a requeued or
     resumed kernel replays the exact same deterministic fault campaign.
     """
-    (name, scale, verify, isolate, watchdog, retry, spec,
-     want_trace, want_metrics, cache_dir, timeout,
-     checkpoint_every, checkpoint_dir) = payload
+    (name, opts, spec, want_trace, want_metrics) = payload
     _maybe_kill_for_test(name)
     tracer = Tracer() if want_trace else None
     metrics = Metrics() if want_metrics else None
-    cache = CompileCache(cache_dir)
+    cache = CompileCache(opts.cache_dir)
     run, failure = _run_one(
-        name, scale, verify, isolate, watchdog, retry, spec,
-        tracer, metrics, cache, timeout, checkpoint_every, checkpoint_dir,
+        name, opts.replace(tracer=tracer, metrics=metrics), spec, cache,
     )
     return name, run, failure, tracer, metrics, cache.stats()
 
@@ -565,28 +600,20 @@ def _run_jobs(todo, jobs, isolate, retry, payload_for, record):
 
 def run_suite(
     names: Optional[Iterable[str]] = None,
-    scale: str = "small",
-    verify: bool = True,
-    isolate: bool = True,
-    watchdog: Optional[WatchdogConfig] = None,
-    retry: Optional[RetryPolicy] = None,
-    inject: Optional[Dict[str, FaultSpec]] = None,
-    tracer: Optional[Tracer] = None,
-    metrics: Optional[Metrics] = None,
-    jobs: int = 1,
-    cache: Optional[CompileCache] = None,
-    cache_dir: Optional[str] = None,
-    trace_path: Optional[str] = None,
-    journal: Optional[str] = None,
-    resume: bool = False,
-    timeout: Optional[float] = None,
-    checkpoint_every: Optional[float] = None,
-    checkpoint_dir: Optional[str] = None,
+    scale: Optional[str] = None,
+    options: Optional[RunOptions] = None,
+    **legacy,
 ) -> SuiteResult:
     """Run the whole Table 2 suite (the data behind every figure).
 
-    Parameters
-    ----------
+    Execution options travel in one :class:`RunOptions` value object
+    (``options=``); the historical keyword surface keeps working
+    through the documented deprecation adapter
+    (:meth:`RunOptions.from_kwargs`, which emits a
+    ``DeprecationWarning``), and ``scale`` stays first-class.
+
+    Options (``RunOptions`` fields / legacy keywords)
+    -------------------------------------------------
     isolate:
         When True (default) a failing kernel is retried per ``retry``
         and, if still failing, reported as a degraded row instead of
@@ -654,19 +681,22 @@ def run_suite(
         (``--checkpoint-every`` / ``--checkpoint-dir``; see
         ``docs/resilience.md`` §7).
     """
+    o = _resolve_options(scale, options, legacy, SUITE_KWARGS)
+    o = o.replace(retry=o.retry or RetryPolicy())
     names = list(names) if names is not None else all_names()
-    retry = retry or RetryPolicy()
-    inject = inject or {}
+    inject = dict(o.inject or {})
+    tracer, metrics = o.tracer, o.metrics
+    cache = o.cache
     if cache is None:
-        cache = CompileCache(cache_dir)
-    if resume and journal is None:
+        cache = CompileCache(o.cache_dir)
+    if o.resume and o.journal is None:
         raise ValueError("run_suite(resume=True) requires journal=PATH")
 
     jnl: Optional[RunJournal] = None
     replayed: Dict[str, JournalEntry] = {}
-    if journal is not None:
-        jnl = (RunJournal.resume(journal, scale) if resume
-               else RunJournal(journal, scale))
+    if o.journal is not None:
+        jnl = (RunJournal.for_options(o.journal, o, resume=True) if o.resume
+               else RunJournal.for_options(o.journal, o))
         replayed = {n: jnl.entries[n] for n in names if n in jnl.entries}
         jnl.flush()  # the header (plus replayed entries) lands up front
     todo = [n for n in names if n not in replayed]
@@ -675,16 +705,20 @@ def run_suite(
         if jnl is not None:
             jnl.record(name, entry)
 
-    if jobs > 1:
-        want_trace = trace_path is not None or tracer is not None
+    if o.jobs > 1:
+        want_trace = o.trace_path is not None or tracer is not None
         want_metrics = metrics is not None
+        # The payload options cross a process boundary: strip the live
+        # parent-side objects (the worker builds its own registries).
+        wire_opts = o.replace(tracer=None, metrics=None, cache=None,
+                              faults=None)
 
         def payload_for(name: str):
-            return (name, scale, verify, isolate, watchdog, retry,
-                    inject.get(name), want_trace, want_metrics, cache_dir,
-                    timeout, checkpoint_every, checkpoint_dir)
+            return (name, wire_opts, inject.get(name),
+                    want_trace, want_metrics)
 
-        fresh = _run_jobs(todo, jobs, isolate, retry, payload_for, record)
+        fresh = _run_jobs(todo, o.jobs, o.isolate, o.retry, payload_for,
+                          record)
     else:
         fresh = {}
         # With a journal armed the serial path mirrors the jobs-mode
@@ -693,16 +727,15 @@ def run_suite(
         per_kernel_obs = jnl is not None
         for name in todo:
             if per_kernel_obs:
-                ktracer = (Tracer() if (trace_path is not None
+                ktracer = (Tracer() if (o.trace_path is not None
                                         or tracer is not None) else None)
                 kmetrics = Metrics() if metrics is not None else None
             else:
-                ktracer = Tracer() if trace_path is not None else tracer
+                ktracer = Tracer() if o.trace_path is not None else tracer
                 kmetrics = metrics
             run, failure = _run_one(
-                name, scale, verify, isolate, watchdog, retry,
-                inject.get(name), ktracer, kmetrics, cache,
-                timeout, checkpoint_every, checkpoint_dir,
+                name, o.replace(tracer=ktracer, metrics=kmetrics),
+                inject.get(name), cache,
             )
             entry = JournalEntry(run=run, failure=failure, tracer=ktracer,
                                  metrics=kmetrics)
@@ -728,8 +761,8 @@ def run_suite(
                 and entry.metrics is not metrics):
             metrics.merge(entry.metrics)
         if entry.tracer is not None:
-            if trace_path is not None:
-                entry.tracer.dump(trace_file_for(trace_path, name))
+            if o.trace_path is not None:
+                entry.tracer.dump(trace_file_for(o.trace_path, name))
             if tracer is not None and entry.tracer is not tracer:
                 tracer.merge(entry.tracer)
         if entry.cache_stats is not None:

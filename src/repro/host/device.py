@@ -24,8 +24,10 @@ from typing import Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 
+import warnings
+
 from repro.compiler.optimize import optimize_kernel
-from repro.engine import create_engine, engine_names
+from repro.engine import create_engine, engine_names, unknown_engine_error
 from repro.ir.kernel import Kernel
 from repro.memory.image import MemoryImage
 from repro.resilience.errors import ReproError
@@ -50,10 +52,17 @@ class LaunchStats:
     * ``trace`` — the :class:`repro.obs.Tracer` used, or ``None``;
     * ``metrics`` — the :class:`repro.obs.Metrics` registry, or ``None``
 
-    — and, as a deprecation shim, forwards every other attribute to the
-    wrapped result, so historical code such as
-    ``stats.bbs.reconfigurations`` or ``stats.sm.simd_efficiency``
-    keeps working unchanged.
+    — plus explicit forwarded properties for the per-backend result
+    attributes application code actually reaches for (``bbs``,
+    ``fabric``, ``sm``, ``engine``, ``kernel_name``, ``n_threads``,
+    ``n_blocks``), each raising the backend's natural
+    ``AttributeError`` when the wrapped result has no such field.
+
+    Any *other* attribute still falls through to the wrapped result as
+    a deprecation shim, but the access emits a ``DeprecationWarning``
+    naming the attribute — migrate such call sites to
+    ``stats.result.<name>`` (or file the attribute for promotion to an
+    explicit property) so the blanket fall-through can be retired.
     """
 
     __slots__ = ("result",)
@@ -73,9 +82,53 @@ class LaunchStats:
     def metrics(self):
         return getattr(self.result, "metrics", None)
 
+    # -- explicit forwarded result attributes (grep-driven: the set the
+    # repository's own tests, docs, and examples rely on) --------------
+    @property
+    def engine(self) -> str:
+        """Backend name of the result (``"vgiw"``, ``"fermi"``, ...)."""
+        return self.result.engine
+
+    @property
+    def kernel_name(self) -> str:
+        return self.result.kernel_name
+
+    @property
+    def n_threads(self) -> int:
+        return self.result.n_threads
+
+    @property
+    def n_blocks(self) -> int:
+        return self.result.n_blocks
+
+    @property
+    def bbs(self):
+        """VGIW basic-block scheduler statistics (``BBSStats``)."""
+        return self.result.bbs
+
+    @property
+    def fabric(self):
+        """VGIW / SGMF fabric statistics (``FabricStats``)."""
+        return self.result.fabric
+
+    @property
+    def sm(self):
+        """Fermi streaming-multiprocessor statistics (``SMStats``)."""
+        return self.result.sm
+
     def __getattr__(self, name: str):
         # Deprecation shim: fall through to the backend's native result.
-        return getattr(self.result, name)
+        # Dunder/private lookups (pickle, copy, IPython protocols) pass
+        # through silently; public names warn so the shim can be retired.
+        value = getattr(self.result, name)
+        if not name.startswith("_"):
+            warnings.warn(
+                f"LaunchStats.{name} resolves through the deprecated "
+                f"attribute fall-through; use stats.result.{name} "
+                f"instead",
+                DeprecationWarning, stacklevel=2,
+            )
+        return value
 
     def __repr__(self) -> str:
         return f"LaunchStats(cycles={self.cycles}, result={self.result!r})"
@@ -136,9 +189,10 @@ class Device:
                  config=None, optimize: bool = True,
                  tracer=None, metrics=None):
         if backend not in engine_names():
-            raise HostError(
-                f"unknown backend {backend!r}; pick one of {engine_names()}"
-            )
+            # Surface the registry's own diagnosis (registered names +
+            # nearest match) unchanged, typed as a host-API error.
+            exc = unknown_engine_error(backend)
+            raise HostError(str(exc)) from exc
         self.backend = backend
         self.memory = MemoryImage(memory_words)
         self.config = config

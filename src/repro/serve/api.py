@@ -1,0 +1,225 @@
+"""Request/response types of the execution service (:mod:`repro.serve`).
+
+The serving layer speaks three small value objects:
+
+* :class:`SubmitRequest` — *what* to run: a registry kernel name plus a
+  :class:`~repro.evalharness.RunOptions` (the same consolidated options
+  object ``run_kernel`` / ``run_suite`` consume).  Optional per-request
+  ``deadline_s`` and a ``client`` label for attribution.
+* :class:`Ticket` — the service's immediate acknowledgement of a
+  submission: the request id to wait on.
+* :class:`RunResponse` — the terminal outcome.  *Every* submission gets
+  exactly one response; overload and failure arrive as typed degraded
+  rows (``status`` of ``"rejected"`` / ``"deadline"`` / ``"degraded"``),
+  never as exceptions out of the service.
+
+Result identity
+---------------
+
+``run_kernel`` is deterministic, so a response can prove it returned
+*the* result (not merely *a* result): :func:`result_digest` hashes the
+engine-agnostic run summaries (cycles, memory-system counters per
+machine) into a stable content digest.  A batched execution fans the
+same digest out to every member request, and the digest equals the one
+a serial ``run_kernel`` call with the same options produces — the CI
+smoke job and ``tests/test_serve.py`` compare exactly this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.evalharness.options import RunOptions
+
+__all__ = [
+    "LatencyStats",
+    "RESPONSE_STATUSES",
+    "RunResponse",
+    "SubmitRequest",
+    "Ticket",
+    "result_digest",
+]
+
+#: Every terminal state a submission can reach.
+RESPONSE_STATUSES: Tuple[str, ...] = ("ok", "degraded", "rejected", "deadline")
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One kernel-execution request.
+
+    ``options`` must be *pure*: the live-object fields
+    (``RunOptions.LIVE_FIELDS`` — tracer, metrics, cache, faults) are
+    owned by the service, which records into its own registries and
+    warms its own compile caches; a submission carrying any of them is
+    rejected (typed response, not an exception).  ``deadline_s`` is a
+    relative budget in host seconds from submission: a request still
+    queued when it expires is shed with status ``"deadline"``, and a
+    dispatched request's execution is bounded by its remaining budget
+    through :func:`~repro.resilience.wall_clock_limit`.  ``want_run``
+    asks for the full :class:`~repro.evalharness.KernelRun` on the
+    response (digest and summary are always included).
+    """
+
+    kernel: str
+    options: RunOptions = field(default_factory=RunOptions)
+    deadline_s: Optional[float] = None
+    want_run: bool = False
+    client: str = "anon"
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Acknowledgement of a submission; wait on it for the response."""
+
+    request_id: int
+    kernel: str
+    submitted_s: float  # wall-clock (time.time) submission stamp
+
+
+@dataclass
+class RunResponse:
+    """The terminal outcome of one submission.
+
+    ``status`` is one of :data:`RESPONSE_STATUSES`:
+
+    ``"ok"``
+        The kernel ran and verified; ``digest`` / ``summary`` (and
+        ``run`` when requested) describe the result.
+    ``"degraded"``
+        The kernel was executed but failed (verification, hang,
+        exhausted worker-crash budget...); ``error_type`` / ``error``
+        carry the diagnosis, mirroring a sweep's degraded rows.
+    ``"rejected"``
+        Admission control refused the submission (queue full, unknown
+        kernel, live options fields, service stopped) — nothing ran.
+    ``"deadline"``
+        The request's ``deadline_s`` expired while it was still queued;
+        it was shed without executing.
+
+    The timing split (all host seconds) is ``queue_s`` (submission →
+    dispatch), ``compile_s`` (workload build + compile-cache warm
+    inside the worker), ``execute_s`` (the measurement run proper) and
+    ``total_s`` (submission → response).  ``batch_id`` / ``batch_size``
+    identify the coalesced execution that served this request
+    (``batch_size > 1`` means the result was computed once and fanned
+    out).
+    """
+
+    request_id: int
+    kernel: str
+    status: str
+    client: str = "anon"
+    digest: Optional[str] = None
+    summary: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    queue_s: float = 0.0
+    compile_s: float = 0.0
+    execute_s: float = 0.0
+    total_s: float = 0.0
+    batch_id: Optional[int] = None
+    batch_size: int = 0
+    run: Any = None  # KernelRun when want_run was set and status == "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def identity(self) -> Dict[str, Any]:
+        """The timing-independent identity row (what CI goldens hold)."""
+        return {
+            "kernel": self.kernel,
+            "status": self.status,
+            "digest": self.digest,
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other numerics for json.dumps."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def result_digest(run: Any) -> str:
+    """Stable content digest of a :class:`~repro.evalharness.KernelRun`.
+
+    Hashes the three engines' engine-agnostic summaries (cycles plus
+    the memory-system counters) as sorted-keys JSON.  ``run_kernel`` is
+    deterministic, so equal requests yield equal digests — across
+    serve/serial, across batching decisions, across workers.
+    """
+    payload = {
+        "kernel": run.name,
+        "n_threads": run.n_threads,
+        "fermi": run.fermi.summary(),
+        "vgiw": run.vgiw.summary(),
+        "sgmf": None if run.sgmf is None else run.sgmf.summary(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=_jsonable)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_summary(run: Any) -> Dict[str, Any]:
+    """Small JSON-able summary for a response (mirrors the journal's)."""
+    return {
+        "fermi_cycles": run.fermi.cycles,
+        "vgiw_cycles": run.vgiw.cycles,
+        "sgmf_cycles": None if run.sgmf is None else run.sgmf.cycles,
+    }
+
+
+class LatencyStats:
+    """Raw-sample latency accumulator with percentile readout.
+
+    The metric registry's :class:`~repro.obs.metrics.Histogram` keeps
+    only count/sum/min/max (cheap to merge across processes); a serving
+    report needs real tail percentiles, so the service additionally
+    feeds every sample into one of these per timing component.
+    Nearest-rank percentiles over the sorted samples — deterministic
+    and exact for the sample sizes a load run produces.
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]); 0.0 when empty."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+                    "max": 0.0}
+        return {
+            "count": len(self.samples),
+            "mean": sum(self.samples) / len(self.samples),
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": max(self.samples),
+        }

@@ -1,0 +1,540 @@
+"""The execution service: a warm worker pool behind a batching queue.
+
+:class:`ExecutionService` accepts :class:`~repro.serve.api.SubmitRequest`
+submissions, coalesces compatible ones (same kernel, same
+``RunOptions.fingerprint()``) into batches, executes each batch *once*
+on a pool of persistent worker processes, and fans the result out to
+every member request.  The workers stay warm: each keeps a module-level
+:class:`~repro.compiler.CompileCache`, so after the first execution of
+a (kernel, options) point the optimisation pipeline, VGIW place &
+route, SGMF mapping and Fermi CFG analyses are all cache hits — on the
+single-core hosts this simulator targets, batching + warm caches (not
+parallelism) are what make the service beat a serial ``run_kernel``
+loop.
+
+Failure containment mirrors the sweep harness:
+
+* a kernel that fails *in-process* (verification, hang, fault) comes
+  back as a ``"degraded"`` response via the same
+  :func:`~repro.evalharness.runner._run_one` retry machinery sweeps
+  use;
+* a worker that dies *hard* (SIGKILL, OOM, segfault) breaks the pool —
+  the dispatcher respawns it and requeues every in-flight request
+  under a bounded per-request crash budget, after which the request
+  degrades with :class:`~repro.resilience.WorkerCrashError`;
+* overload is shed, not raised: a full queue rejects at admission, and
+  a request whose ``deadline_s`` expires while queued is dropped with
+  status ``"deadline"`` (a dispatched request's execution is bounded
+  by its remaining budget through
+  :func:`~repro.resilience.wall_clock_limit`).
+
+Observability: with a :class:`repro.obs.Metrics` registry attached the
+service publishes counters, queue-depth gauges and latency histograms
+under the ``serve/`` scope, keeps raw-sample
+:class:`~repro.serve.api.LatencyStats` for true p50/p99, and (with a
+:class:`repro.obs.Tracer`) emits one Chrome-trace span per request on
+the ``serve`` process lane, so a load run opens directly in Perfetto.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional
+
+from repro.compiler.cache import CompileCache, cached_optimize_kernel
+from repro.evalharness.options import RunOptions
+from repro.evalharness.runner import _maybe_kill_for_test, _run_one
+from repro.kernels.registry import all_names, make_workload
+from repro.resilience import RetryPolicy, WorkerCrashError
+from repro.serve.api import (
+    LatencyStats,
+    RunResponse,
+    SubmitRequest,
+    Ticket,
+    result_digest,
+    run_summary,
+)
+from repro.serve.scheduler import Batch, BatchScheduler, QueueEntry
+
+__all__ = ["ExecutionService"]
+
+
+# ----------------------------------------------------------------------
+# The pool worker (module top level: picklable under every start method)
+# ----------------------------------------------------------------------
+#: Per-worker-process warm compile caches, keyed by cache_dir.  This is
+#: the "persistent worker" in persistent worker pool: the process (and
+#: this cache) survives across batches, so repeat kernels skip the
+#: whole compile pipeline.
+_WARM_CACHES: Dict[str, CompileCache] = {}
+
+
+def _warm_cache(cache_dir: Optional[str]) -> CompileCache:
+    key = cache_dir or ""
+    cache = _WARM_CACHES.get(key)
+    if cache is None:
+        cache = _WARM_CACHES[key] = CompileCache(cache_dir)
+    return cache
+
+
+def _serve_worker(payload):
+    """Execute one batch's kernel once; ship back result + timing split.
+
+    ``payload`` is ``(batch_id, kernel, opts, budget_s)`` where ``opts``
+    is a pure, resolved :class:`RunOptions` (live fields ``None``,
+    ``retry`` materialised, ``isolate=True``) and ``budget_s`` is the
+    batch's tightest remaining deadline (bounds the execution through
+    ``opts.timeout`` → :func:`~repro.resilience.wall_clock_limit`).
+
+    Returns ``(batch_id, run, failure, compile_s, execute_s, digest,
+    summary, cache_delta)`` — ``run``/``failure`` exactly as
+    :func:`~repro.evalharness.runner._run_one` reports them, and
+    ``cache_delta`` the compile-cache counter *increments* this batch
+    caused (the parent folds them into its aggregate).
+    """
+    (batch_id, kernel, opts, budget_s) = payload
+    _maybe_kill_for_test(kernel)
+    cache = _warm_cache(opts.cache_dir)
+    before = cache.stats()
+
+    # Compile phase, timed separately: build the workload and warm the
+    # optimisation pipeline through the cache (the execution below then
+    # hits it, so execute_s measures simulation, not compilation).
+    t0 = time.monotonic()
+    workload = make_workload(kernel, opts.scale)
+    if opts.optimize:
+        cached_optimize_kernel(workload.kernel, params=workload.params,
+                               cache=cache)
+        cached_optimize_kernel(workload.kernel, params=workload.params,
+                               unroll=False, cache=cache)
+    compile_s = time.monotonic() - t0
+
+    timeout = opts.timeout
+    if budget_s is not None:
+        timeout = budget_s if timeout is None else min(timeout, budget_s)
+
+    t1 = time.monotonic()
+    run, failure = _run_one(kernel, opts.replace(timeout=timeout), None,
+                            cache)
+    execute_s = time.monotonic() - t1
+
+    digest = None if run is None else result_digest(run)
+    summary = {} if run is None else run_summary(run)
+    after = cache.stats()
+    cache_delta = {k: after[k] - before.get(k, 0)
+                   for k in after if k != "entries"}
+    return (batch_id, run, failure, compile_s, execute_s, digest,
+            summary, cache_delta)
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class ExecutionService:
+    """Batched multi-device execution service (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Worker-process pool width (also the in-flight batch bound).
+    policy:
+        Batch dispatch order: ``"fifo"`` or ``"sjf"``
+        (:mod:`repro.serve.scheduler`).
+    queue_limit:
+        Admission bound; a submission past it is *rejected* (typed
+        response), never queued unboundedly.
+    crash_budget:
+        How many worker crashes one request may survive (requeues)
+        before degrading with :class:`WorkerCrashError`.
+    cache_dir:
+        Optional persistent compile-cache tier shared by the workers
+        (atomic disk writes — concurrent workers are safe).
+    tracer / metrics:
+        Optional :class:`repro.obs.Tracer` / :class:`repro.obs.Metrics`;
+        the service records into the ``serve/`` metric scope and one
+        trace span per request.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with ExecutionService(workers=2) as svc:
+            t = svc.submit(SubmitRequest("nn/euclid",
+                                         RunOptions(scale="tiny")))
+            resp = svc.wait(t)
+    """
+
+    def __init__(self, workers: int = 2, policy: str = "fifo",
+                 queue_limit: int = 64, crash_budget: int = 2,
+                 cache_dir: Optional[str] = None, tracer=None,
+                 metrics=None):
+        self.workers = max(1, int(workers))
+        self.scheduler = BatchScheduler(policy=policy,
+                                        queue_limit=queue_limit)
+        self.crash_budget = max(1, int(crash_budget))
+        self.cache_dir = cache_dir
+        self.tracer = tracer
+        self.metrics = metrics
+        self._scope = metrics.scope("serve") if metrics is not None else None
+        self._known = frozenset(all_names(include_extras=True))
+
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._responses: Dict[int, RunResponse] = {}
+        self._events: Dict[int, threading.Event] = {}
+
+        self._running = False
+        self._stopping = threading.Event()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._t0_mono = 0.0
+        self._t0_wall = 0.0
+
+        #: raw-sample latency accumulators (true p50/p99; the metric
+        #: histograms only keep count/sum/min/max)
+        self.latency: Dict[str, LatencyStats] = {
+            "total_s": LatencyStats(),
+            "queue_s": LatencyStats(),
+            "compile_s": LatencyStats(),
+            "execute_s": LatencyStats(),
+        }
+        self._counts: Dict[str, int] = {
+            "submitted": 0, "ok": 0, "degraded": 0, "rejected": 0,
+            "deadline": 0,
+        }
+        self._batch_sizes: List[int] = []
+        self._worker_crashes = 0
+        self.cache_stats: Dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ExecutionService":
+        if self._running:
+            return self
+        self._stopping.clear()
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._t0_mono = time.monotonic()
+        self._t0_wall = time.time()
+        self._running = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the service.  ``drain=True`` (default) finishes every
+        queued and in-flight request first; ``drain=False`` sheds the
+        queue as ``"rejected"`` and finishes only the in-flight work."""
+        if not self._running:
+            return
+        if not drain:
+            while True:
+                batch = self.scheduler.next_batch(timeout=0)
+                if batch is None:
+                    break
+                for entry in batch.entries:
+                    self._finish(entry, RunResponse(
+                        request_id=entry.ticket.request_id,
+                        kernel=entry.request.kernel, status="rejected",
+                        client=entry.request.client,
+                        error="service is stopping",
+                        error_type="ServiceStopped"))
+        self._stopping.set()
+        self.scheduler.wake()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self._running = False
+
+    def __enter__(self) -> "ExecutionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client surface -------------------------------------------------
+    def submit(self, request: SubmitRequest) -> Ticket:
+        """Admit one request.  Always returns a :class:`Ticket`;
+        admission failures surface as an (immediately available)
+        ``"rejected"`` response, never an exception."""
+        rid = next(self._ids)
+        ticket = Ticket(rid, request.kernel, time.time())
+        with self._lock:
+            self._events[rid] = threading.Event()
+        self._counts["submitted"] += 1
+        if self._scope is not None:
+            self._scope.inc("requests_submitted")
+
+        def reject(message: str, error_type: str) -> Ticket:
+            self._finish(None, RunResponse(
+                request_id=rid, kernel=request.kernel, status="rejected",
+                client=request.client, error=message,
+                error_type=error_type))
+            return ticket
+
+        live = request.options.live_fields_set()
+        if live:
+            return reject(
+                f"options carry live object fields ({', '.join(live)}); "
+                f"the service owns its own registries and caches",
+                "LiveOptionsError")
+        if request.kernel not in self._known:
+            return reject(f"unknown kernel {request.kernel!r}",
+                          "UnknownKernelError")
+        if not self._running or self._stopping.is_set():
+            return reject("service is not accepting submissions",
+                          "ServiceStopped")
+
+        opts = request.options.replace(
+            isolate=True,
+            retry=request.options.retry or RetryPolicy(),
+            cache_dir=(self.cache_dir
+                       if request.options.cache_dir is None
+                       else request.options.cache_dir),
+        )
+        now = time.monotonic()
+        entry = QueueEntry(
+            request=request, ticket=ticket,
+            key=(request.kernel, opts.fingerprint()), opts=opts,
+            enqueued_mono=now,
+            deadline_mono=(None if request.deadline_s is None
+                           else now + request.deadline_s),
+            crash_budget=self.crash_budget,
+        )
+        if not self.scheduler.offer(entry):
+            return reject(
+                f"queue full (limit {self.scheduler.queue_limit})",
+                "QueueFullError")
+        if self._scope is not None:
+            self._scope.gauge("queue_depth", self.scheduler.depth())
+        return ticket
+
+    def wait(self, ticket: Ticket,
+             timeout: Optional[float] = None) -> Optional[RunResponse]:
+        """Block until ``ticket``'s response lands; ``None`` on timeout."""
+        with self._lock:
+            event = self._events.get(ticket.request_id)
+        if event is None:
+            raise KeyError(f"unknown ticket {ticket.request_id}")
+        if not event.wait(timeout):
+            return None
+        with self._lock:
+            return self._responses[ticket.request_id]
+
+    def result(self, ticket: Ticket) -> Optional[RunResponse]:
+        """The response if it already landed, else ``None``."""
+        with self._lock:
+            return self._responses.get(ticket.request_id)
+
+    # -- dispatcher -----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        in_flight: Dict[Any, Batch] = {}
+        while True:
+            while len(in_flight) < self.workers:
+                timeout = 0.0 if in_flight or self._stopping.is_set() \
+                    else 0.1
+                batch = self.scheduler.next_batch(timeout=timeout)
+                if batch is None:
+                    break
+                self._shed_expired(batch)
+                if not batch.entries:
+                    continue
+                self._dispatch(in_flight, batch)
+            if not in_flight:
+                if self._stopping.is_set() and self.scheduler.depth() == 0:
+                    return
+                continue
+            done, _ = wait(list(in_flight), timeout=0.25,
+                           return_when=FIRST_COMPLETED)
+            crashed: List[Batch] = []
+            for future in done:
+                batch = in_flight.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    crashed.append(batch)
+                except Exception as exc:  # noqa: BLE001 — typed rows
+                    self._finish_batch_error(batch, exc)
+                else:
+                    self._finish_batch(batch, payload)
+            if crashed:
+                # The executor is broken: every other in-flight future
+                # is poisoned too.  Blame them all (like _run_jobs).
+                crashed.extend(in_flight.values())
+                in_flight.clear()
+                self._recover(crashed)
+
+    def _shed_expired(self, batch: Batch) -> None:
+        now = time.monotonic()
+        kept: List[QueueEntry] = []
+        for entry in batch.entries:
+            if entry.deadline_mono is not None and now > entry.deadline_mono:
+                waited = now - entry.enqueued_mono
+                self._finish(entry, RunResponse(
+                    request_id=entry.ticket.request_id,
+                    kernel=entry.request.kernel, status="deadline",
+                    client=entry.request.client,
+                    error=(f"deadline of {entry.request.deadline_s:.3f}s "
+                           f"expired after {waited:.3f}s in queue"),
+                    error_type="DeadlineExceeded",
+                    queue_s=waited, total_s=waited,
+                    batch_id=batch.batch_id))
+            else:
+                kept.append(entry)
+        batch.entries = kept
+
+    def _dispatch(self, in_flight: Dict[Any, Batch], batch: Batch) -> None:
+        batch.dispatch_mono = time.monotonic()
+        budgets = [e.deadline_mono - batch.dispatch_mono
+                   for e in batch.entries if e.deadline_mono is not None]
+        budget_s = max(0.001, min(budgets)) if budgets else None
+        opts: RunOptions = batch.entries[0].opts
+        future = self._pool.submit(
+            _serve_worker, (batch.batch_id, batch.kernel, opts, budget_s))
+        in_flight[future] = batch
+        self._batch_sizes.append(len(batch.entries))
+        if self._scope is not None:
+            self._scope.inc("batches")
+            self._scope.observe("batch_size", len(batch.entries))
+            self._scope.gauge("queue_depth", self.scheduler.depth())
+            self._scope.gauge("in_flight", len(in_flight))
+
+    def _finish_batch(self, batch: Batch, payload) -> None:
+        (_, run, failure, compile_s, execute_s, digest, summary,
+         cache_delta) = payload
+        now = time.monotonic()
+        self.scheduler.observe(batch.key, execute_s)
+        for k, v in cache_delta.items():
+            self.cache_stats[k] = self.cache_stats.get(k, 0) + v
+        for entry in batch.entries:
+            request: SubmitRequest = entry.request
+            if failure is None:
+                response = RunResponse(
+                    request_id=entry.ticket.request_id,
+                    kernel=request.kernel, status="ok",
+                    client=request.client, digest=digest,
+                    summary=dict(summary),
+                    run=run if request.want_run else None)
+            else:
+                response = RunResponse(
+                    request_id=entry.ticket.request_id,
+                    kernel=request.kernel, status="degraded",
+                    client=request.client, error=failure.message,
+                    error_type=failure.error_type)
+            response.queue_s = batch.dispatch_mono - entry.enqueued_mono
+            response.compile_s = compile_s
+            response.execute_s = execute_s
+            response.total_s = now - entry.enqueued_mono
+            response.batch_id = batch.batch_id
+            response.batch_size = len(batch.entries)
+            self._finish(entry, response)
+
+    def _finish_batch_error(self, batch: Batch, exc: Exception) -> None:
+        """A worker raised instead of reporting (harness bug): degrade
+        the batch's requests rather than killing the service."""
+        now = time.monotonic()
+        for entry in batch.entries:
+            self._finish(entry, RunResponse(
+                request_id=entry.ticket.request_id,
+                kernel=entry.request.kernel, status="degraded",
+                client=entry.request.client, error=str(exc),
+                error_type=type(exc).__name__,
+                queue_s=batch.dispatch_mono - entry.enqueued_mono,
+                total_s=now - entry.enqueued_mono,
+                batch_id=batch.batch_id, batch_size=len(batch.entries)))
+
+    def _recover(self, batches: List[Batch]) -> None:
+        """Worker died hard: respawn the pool, requeue the in-flight
+        requests under their crash budgets (mirrors ``_run_jobs``)."""
+        self._worker_crashes += 1
+        if self._scope is not None:
+            self._scope.inc("worker_crashes")
+        self._pool.shutdown(wait=False)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        requeue: List[QueueEntry] = []
+        now = time.monotonic()
+        for batch in batches:
+            for entry in batch.entries:
+                entry.crash_budget -= 1
+                if entry.crash_budget > 0:
+                    requeue.append(entry)
+                    continue
+                exc = WorkerCrashError(
+                    "worker process died (SIGKILL/OOM/segfault) while "
+                    "this request was in flight; crash budget exhausted",
+                    kernel=entry.request.kernel)
+                self._finish(entry, RunResponse(
+                    request_id=entry.ticket.request_id,
+                    kernel=entry.request.kernel, status="degraded",
+                    client=entry.request.client, error=str(exc),
+                    error_type="WorkerCrashError",
+                    queue_s=batch.dispatch_mono - entry.enqueued_mono,
+                    total_s=now - entry.enqueued_mono,
+                    batch_id=batch.batch_id))
+        self.scheduler.requeue(requeue)
+
+    # -- completion -----------------------------------------------------
+    def _finish(self, entry: Optional[QueueEntry],
+                response: RunResponse) -> None:
+        self._counts[response.status] = \
+            self._counts.get(response.status, 0) + 1
+        executed = response.status in ("ok", "degraded") \
+            and response.batch_id is not None
+        self.latency["total_s"].observe(response.total_s)
+        if executed:
+            self.latency["queue_s"].observe(response.queue_s)
+            self.latency["compile_s"].observe(response.compile_s)
+            self.latency["execute_s"].observe(response.execute_s)
+        if self._scope is not None:
+            self._scope.inc(f"requests_{response.status}")
+            self._scope.observe("total_s", response.total_s)
+            if executed:
+                self._scope.observe("queue_s", response.queue_s)
+                self._scope.observe("compile_s", response.compile_s)
+                self._scope.observe("execute_s", response.execute_s)
+        if self.tracer is not None and entry is not None:
+            # One span per request on the "serve" lane, in µs since
+            # service start (the native Chrome-trace time base).
+            start_us = (entry.enqueued_mono - self._t0_mono) * 1e6
+            self.tracer.complete(
+                f"{response.kernel} #{response.request_id}", "serve",
+                start_us, response.total_s * 1e6, pid="serve",
+                tid=0, status=response.status,
+                batch=response.batch_id, client=response.client)
+        with self._lock:
+            self._responses[response.request_id] = response
+            event = self._events.get(response.request_id)
+        if event is not None:
+            event.set()
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able service report (counts, batching, latency split)."""
+        sizes = self._batch_sizes
+        uptime = (time.monotonic() - self._t0_mono) if self._t0_mono else 0.0
+        completed = sum(self._counts.get(s, 0)
+                        for s in ("ok", "degraded", "rejected", "deadline"))
+        return {
+            "workers": self.workers,
+            "policy": self.scheduler.policy,
+            "uptime_s": uptime,
+            "requests": dict(self._counts),
+            "throughput_rps": (completed / uptime) if uptime > 0 else 0.0,
+            "batches": {
+                "count": len(sizes),
+                "batched_requests": sum(sizes),
+                "mean_size": (sum(sizes) / len(sizes)) if sizes else 0.0,
+                "max_size": max(sizes) if sizes else 0,
+            },
+            "queue": {
+                "limit": self.scheduler.queue_limit,
+                "peak_depth": self.scheduler.peak_depth,
+            },
+            "latency": {name: stats.summary()
+                        for name, stats in self.latency.items()},
+            "worker_crashes": self._worker_crashes,
+            "compile_cache": dict(self.cache_stats),
+        }

@@ -43,6 +43,23 @@ def test_unknown_backend_rejected():
         Device("tpu")
 
 
+def test_unknown_backend_lists_registry_and_suggests():
+    """The registry's diagnosis — every registered name plus a
+    nearest-match hint — surfaces unchanged through Device."""
+    from repro.engine import UnknownEngineError, create_engine
+
+    with pytest.raises(UnknownEngineError) as excinfo:
+        create_engine("vgwi")
+    message = str(excinfo.value)
+    for name in ("vgiw", "fermi", "sgmf", "interp"):
+        assert name in message
+    assert "did you mean 'vgiw'?" in message
+
+    with pytest.raises(HostError) as host_excinfo:
+        Device("vgwi")
+    assert str(host_excinfo.value) == message
+
+
 def test_missing_params_rejected():
     dev = Device("interp")
     with pytest.raises(HostError, match="missing kernel parameters"):

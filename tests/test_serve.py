@@ -1,0 +1,206 @@
+"""Concurrent-safety tests for the batched execution service.
+
+The contracts under test (``docs/serving.md``):
+
+* N seeded clients against a 2-worker pool get results byte-identical
+  (per-request digests) to serial ``run_kernel`` calls;
+* overload surfaces as *typed responses* — ``"rejected"``
+  (queue full / unknown kernel / live options) and ``"deadline"`` —
+  never as exceptions;
+* a worker SIGKILLed mid-batch is respawned and the in-flight requests
+  requeued and completed (same recovery contract as ``run_suite
+  --jobs``).
+"""
+
+import os
+
+import pytest
+
+from repro.evalharness import RunOptions, run_kernel
+from repro.evalharness.runner import KILL_ENV
+from repro.obs import Metrics, Tracer
+from repro.serve import (
+    BatchScheduler,
+    ExecutionService,
+    LoadGen,
+    SubmitRequest,
+    result_digest,
+)
+
+TINY = RunOptions(scale="tiny")
+KERNELS = ["nn/euclid", "gaussian/Fan1", "hotspot/hotspot_kernel"]
+
+
+# ----------------------------------------------------------------------
+# Determinism: serve == serial, request by request
+# ----------------------------------------------------------------------
+def test_seeded_clients_match_serial_digests():
+    """Closed-loop seeded clients vs a 2-worker pool: every response's
+    digest equals the serial ``run_kernel`` digest for that request."""
+    gen = LoadGen(KERNELS, n_requests=10, options=TINY, seed=42,
+                  mode="closed", concurrency=4)
+    serial = {
+        name: result_digest(run_kernel(name, options=TINY))
+        for name in {req.kernel for req in gen.requests()}
+    }
+    with ExecutionService(workers=2) as svc:
+        report = gen.run(svc)
+    assert report.n_requests == 10
+    assert len(report.responses) == 10
+    for req, resp in zip(gen.requests(), report.responses):
+        assert resp.status == "ok"
+        assert resp.kernel == req.kernel
+        assert resp.digest == serial[req.kernel]
+
+
+def test_batched_requests_share_one_execution():
+    """Identical requests coalesce: one batch, one digest fanned out."""
+    with ExecutionService(workers=1) as svc:
+        tickets = [svc.submit(SubmitRequest("nn/euclid", TINY))
+                   for _ in range(5)]
+        responses = [svc.wait(t, timeout=120) for t in tickets]
+    digests = {r.digest for r in responses}
+    assert all(r.status == "ok" for r in responses)
+    assert len(digests) == 1
+    # At least the tail of the stream coalesced behind the first
+    # dispatch; the whole stream forms at most 2 batches.
+    assert len({r.batch_id for r in responses}) <= 2
+    assert max(r.batch_size for r in responses) >= 2
+
+
+def test_incompatible_options_do_not_batch():
+    """Different fingerprints (verify on/off) never share a batch."""
+    with ExecutionService(workers=1) as svc:
+        slow = svc.submit(SubmitRequest("nn/euclid",
+                                        RunOptions(scale="small")))
+        a = svc.submit(SubmitRequest("nn/euclid", TINY))
+        b = svc.submit(SubmitRequest("nn/euclid",
+                                     TINY.replace(verify=False)))
+        ra = svc.wait(a, timeout=120)
+        rb = svc.wait(b, timeout=120)
+        svc.wait(slow, timeout=120)
+    assert ra.status == rb.status == "ok"
+    assert ra.batch_id != rb.batch_id
+
+
+# ----------------------------------------------------------------------
+# Typed degraded responses, not exceptions
+# ----------------------------------------------------------------------
+def test_unknown_kernel_is_rejected_not_raised():
+    with ExecutionService(workers=1) as svc:
+        resp = svc.wait(svc.submit(SubmitRequest("no/such", TINY)),
+                        timeout=30)
+    assert resp.status == "rejected"
+    assert resp.error_type == "UnknownKernelError"
+    assert "no/such" in resp.error
+
+
+def test_live_options_fields_are_rejected():
+    polluted = TINY.replace(metrics=Metrics())
+    with ExecutionService(workers=1) as svc:
+        resp = svc.wait(svc.submit(SubmitRequest("nn/euclid", polluted)),
+                        timeout=30)
+    assert resp.status == "rejected"
+    assert resp.error_type == "LiveOptionsError"
+    assert "metrics" in resp.error
+
+
+def test_queue_full_rejects_with_typed_response():
+    """With a 1-deep queue and a busy worker, overload is shed as
+    ``QueueFullError`` responses while admitted requests complete."""
+    with ExecutionService(workers=1, queue_limit=1) as svc:
+        blocker = svc.submit(SubmitRequest("nn/euclid",
+                                           RunOptions(scale="small")))
+        tickets = [svc.submit(SubmitRequest(k, TINY)) for k in KERNELS]
+        responses = [svc.wait(t, timeout=120) for t in tickets]
+        svc.wait(blocker, timeout=120)
+    rejected = [r for r in responses if r.status == "rejected"]
+    assert rejected, "expected at least one queue-full rejection"
+    assert all(r.error_type == "QueueFullError" for r in rejected)
+    assert all(r.status == "ok"
+               for r in responses if r.status != "rejected")
+
+
+def test_deadline_expired_in_queue_is_shed():
+    """A request whose deadline passes while queued behind a slow batch
+    is dropped with status ``"deadline"`` — without executing."""
+    with ExecutionService(workers=1) as svc:
+        blocker = svc.submit(SubmitRequest("nn/euclid",
+                                           RunOptions(scale="small")))
+        doomed = svc.submit(SubmitRequest("gaussian/Fan1", TINY,
+                                          deadline_s=0.0))
+        resp = svc.wait(doomed, timeout=120)
+        svc.wait(blocker, timeout=120)
+    assert resp.status == "deadline"
+    assert resp.error_type == "DeadlineExceeded"
+    assert resp.digest is None
+
+
+# ----------------------------------------------------------------------
+# Worker-crash recovery
+# ----------------------------------------------------------------------
+def test_worker_sigkill_mid_batch_recovers(tmp_path, monkeypatch):
+    """A SIGKILLed worker breaks the pool; the service respawns it and
+    requeues the in-flight batch, which then completes ok."""
+    token = tmp_path / "kill.token"
+    token.write_text("armed")
+    monkeypatch.setenv(KILL_ENV, f"nn/euclid:{token}")
+    want = result_digest(run_kernel("nn/euclid", options=TINY))
+    with ExecutionService(workers=2, crash_budget=2) as svc:
+        tickets = [svc.submit(SubmitRequest("nn/euclid", TINY))
+                   for _ in range(4)]
+        responses = [svc.wait(t, timeout=300) for t in tickets]
+        crashes = svc._worker_crashes
+    assert crashes >= 1
+    assert not os.path.exists(token)  # the kill latch fired exactly once
+    assert all(r.status == "ok" for r in responses)
+    assert all(r.digest == want for r in responses)
+
+
+# ----------------------------------------------------------------------
+# Scheduler unit behaviour + observability wiring
+# ----------------------------------------------------------------------
+def test_scheduler_rejects_bad_policy():
+    with pytest.raises(ValueError, match="fifo"):
+        BatchScheduler(policy="lifo")
+
+
+def test_sjf_dispatches_learned_short_kernel_first():
+    from repro.serve.scheduler import QueueEntry
+
+    sched = BatchScheduler(policy="sjf", queue_limit=8)
+
+    def entry(key):
+        return QueueEntry(request=None, ticket=None, key=key, opts=None,
+                          enqueued_mono=0.0, deadline_mono=None,
+                          crash_budget=1)
+
+    sched.observe(("slow", "f"), 10.0)
+    sched.observe(("fast", "f"), 0.1)
+    assert sched.offer(entry(("slow", "f")))
+    assert sched.offer(entry(("fast", "f")))
+    batch = sched.next_batch(timeout=0)
+    assert batch.key == ("fast", "f")
+
+
+def test_serve_metrics_scope_and_trace_spans():
+    metrics = Metrics()
+    tracer = Tracer()
+    with ExecutionService(workers=1, metrics=metrics,
+                          tracer=tracer) as svc:
+        resp = svc.wait(svc.submit(SubmitRequest("nn/euclid", TINY)),
+                        timeout=120)
+    assert resp.status == "ok"
+    assert metrics.value("serve/requests_submitted") == 1
+    assert metrics.value("serve/requests_ok") == 1
+    assert metrics.value("serve/batches") == 1
+    hist = metrics.histograms["serve/execute_s"]
+    assert hist.count == 1 and hist.total > 0
+    spans = [e for e in tracer.events if e.cat == "serve"]
+    assert len(spans) == 1
+    assert "nn/euclid" in spans[0].name
+
+    stats = svc.stats()
+    assert stats["requests"]["ok"] == 1
+    for component in ("queue_s", "compile_s", "execute_s", "total_s"):
+        assert stats["latency"][component]["count"] == 1
