@@ -9,15 +9,22 @@ Two layers (``docs/performance.md`` is the narrative):
   the repo root records the Table 2 ``small`` sweep's wall-clock
   trajectory (serial and ``--jobs 4``) per measured revision.
   ``bench_committed_baseline`` gates the recorded numbers (≥ 1.3×
-  serial, ≥ 3× at ``jobs=4`` over the first entry);
-  ``bench_golden_cycles_byte_identical`` re-checks the suite's cycle
-  counts against ``benchmarks/golden_cycles_small.json`` so a speedup
-  can never silently change a reported number.
+  serial, ≥ 3× at ``jobs=4`` over the first entry, and — for records
+  carrying ``"vectorized": true`` — ≥ 2× over the last scalar-execution
+  record); ``bench_golden_cycles_byte_identical`` re-checks the suite's
+  cycle counts against ``benchmarks/golden_cycles_small.json`` so a
+  speedup can never silently change a reported number.
 
 Re-measure and print a fresh trajectory record with::
 
     PYTHONPATH=src python benchmarks/bench_simulator_performance.py \
         --remeasure --jobs 4
+
+Regenerate the golden cycle file (only legitimate when the timing
+model itself changed — see ``docs/benchmarking.md`` §3) with::
+
+    PYTHONPATH=src python benchmarks/bench_simulator_performance.py \
+        --regen-golden
 """
 
 import json
@@ -39,6 +46,10 @@ BASELINE_PATH = os.path.join(
 #: Acceptance floors for the latest trajectory entry vs. the baseline.
 MIN_SERIAL_SPEEDUP = 1.3
 MIN_JOBS4_SPEEDUP = 3.0
+#: Floor for ``"vectorized": true`` records vs. the last record without
+#: the flag — the batch-execution engines must pay for their complexity
+#: on the same workload (the PR 8 gate; ``docs/benchmarking.md`` §2).
+MIN_VECTORIZED_SPEEDUP = 2.0
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +134,20 @@ def bench_committed_baseline():
     assert abs(latest["speedup_serial"] - serial_speedup) < 0.1
     assert abs(latest["speedup_jobs4"] - jobs4_speedup) < 0.1
 
+    if latest.get("vectorized"):
+        scalar = [e for e in traj if not e.get("vectorized")]
+        assert scalar, "a vectorized record needs a scalar denominator"
+        denom = scalar[-1]
+        vec_speedup = denom["serial_s"] / latest["serial_s"]
+        floor = doc["floors"].get(
+            "speedup_vectorized", MIN_VECTORIZED_SPEEDUP
+        )
+        assert vec_speedup >= floor, (
+            f"vectorized speedup {vec_speedup:.2f}x (vs. "
+            f"{denom['label']!r}) below {floor}x floor"
+        )
+        assert abs(latest["speedup_vectorized"] - vec_speedup) < 0.1
+
 
 def bench_golden_cycles_byte_identical(suite_runs, scale):
     """The current sweep reproduces the golden cycles bit-for-bit.
@@ -159,7 +184,8 @@ def _remeasure(jobs: int) -> dict:
 
     doc = load_trajectory()
     base = doc["trajectory"][0]
-    return {
+    scalar = [e for e in doc["trajectory"] if not e.get("vectorized")]
+    record = {
         "label": "remeasure",
         "date": time.strftime("%Y-%m-%d"),
         "host": (f"{multiprocessing.cpu_count()} cores, "
@@ -170,6 +196,37 @@ def _remeasure(jobs: int) -> dict:
         "speedup_jobs4": round(base["serial_s"] / jobsn_s, 2),
         "golden": "byte-identical",
     }
+    from repro.ir.vecops import scalar_exec_requested
+
+    if scalar and not scalar_exec_requested():
+        record["vectorized"] = True
+        record["speedup_vectorized"] = round(
+            scalar[-1]["serial_s"] / serial_s, 2
+        )
+    return record
+
+
+def _regen_golden() -> int:
+    """Rewrite ``golden_cycles_small.json`` from a fresh sweep.
+
+    Only legitimate when the timing model itself changed; the commit
+    must say why the cycles moved (``docs/benchmarking.md`` §3)."""
+    from repro.evalharness.runner import run_suite
+
+    runs = run_suite(None, scale="small")
+    golden = {}
+    for name in sorted(runs):
+        run = runs[name]
+        engines = {}
+        for eng in ("vgiw", "fermi", "sgmf"):
+            res = getattr(run, eng, None)
+            if res is not None:
+                engines[eng] = res.cycles
+        golden[name] = engines
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return sum(len(v) for v in golden.values())
 
 
 if __name__ == "__main__":
@@ -180,10 +237,18 @@ if __name__ == "__main__":
                     help="time the small sweep (serial + --jobs) and "
                          "print a trajectory record to append to "
                          "BENCH_simulator_performance.json")
+    ap.add_argument("--regen-golden", action="store_true",
+                    help="rewrite benchmarks/golden_cycles_small.json "
+                         "from a fresh sweep (timing-model changes "
+                         "only; see docs/benchmarking.md)")
     ap.add_argument("--jobs", type=int, default=4)
     opts = ap.parse_args()
     if opts.remeasure:
         print(json.dumps(_remeasure(opts.jobs), indent=2))
+    elif opts.regen_golden:
+        pairs = _regen_golden()
+        print(f"rewrote {GOLDEN_PATH} ({pairs} kernel x engine pairs)")
     else:
-        ap.error("nothing to do (did you mean --remeasure, or "
+        ap.error("nothing to do (did you mean --remeasure, "
+                 "--regen-golden, or "
                  "`pytest benchmarks/bench_simulator_performance.py`?)")

@@ -15,9 +15,20 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from repro.ir.instr import EVAL, Op, TermKind
+import numpy as np
+
+from repro.ir.instr import EVAL, Op, TermKind, coerce_i64
 from repro.ir.kernel import Kernel
 from repro.ir.types import DType, Imm, Operand, Reg, TID_REG, is_param_reg, PARAM_PREFIX
+from repro.ir.vecops import (
+    addr_batch,
+    f2i_array,
+    f64_batch,
+    hazard_key,
+    scalar_exec_requested,
+    stores_after_loads,
+    vec_eval,
+)
 from repro.memory.image import MemoryImage
 from repro.resilience.errors import SimulationError
 
@@ -66,7 +77,7 @@ class InterpResult:
 
 def _coerce(value: Number, dtype: DType) -> Number:
     if dtype is DType.INT:
-        return int(value)
+        return coerce_i64(value)
     if dtype is DType.FLOAT:
         return float(value)
     return bool(value)
@@ -116,9 +127,12 @@ class Interpreter:
         value, 1 = register name, 2 = thread id; ``dt`` is 1 = int,
         2 = float, 0 = bool)::
 
-            (0, asrc, dst, dt)        LOAD
-            (1, asrc, vsrc)           STORE
-            (2, fn, srcs, dst, dt)    everything else
+            (0, asrc, dst, dt)           LOAD
+            (1, asrc, vsrc)              STORE
+            (2, fn, srcs, dst, dt, op)   everything else
+
+        The trailing ``op`` lets the vectorized wave executor dispatch
+        the same row through :func:`repro.ir.vecops.vec_eval`.
 
         Returns ``(rows, n_instrs, n_loads, n_stores, tcode, cond,
         true_target, false_target)`` with ``tcode`` 0 = RET, 1 = JMP,
@@ -149,7 +163,7 @@ class Interpreter:
             else:
                 rows.append((2, EVAL[instr.op],
                              tuple(prep(s) for s in instr.srcs),
-                             instr.dst, dt))
+                             instr.dst, dt, instr.op))
         term = block.terminator
         tcode = (0 if term.kind is TermKind.RET
                  else 1 if term.kind is TermKind.JMP else 2)
@@ -203,19 +217,19 @@ class Interpreter:
                 for row in rows:
                     tag = row[0]
                     if tag == 2:  # ALU / SFU
-                        _, fn, srcs, dst, dt = row
+                        fn, srcs, dst, dt = row[1], row[2], row[3], row[4]
                         v = fn(*[
                             regs[p] if m == 1 else p if m == 0 else tid
                             for m, p in srcs
                         ])
-                        regs[dst] = (int(v) if dt == 1
+                        regs[dst] = (coerce_i64(v) if dt == 1
                                      else float(v) if dt == 2 else bool(v))
                     elif tag == 0:  # LOAD
                         _, (am, ap), dst, dt = row
                         v = mem_read(int(
                             regs[ap] if am == 1 else ap if am == 0 else tid
                         ))
-                        regs[dst] = (int(v) if dt == 1
+                        regs[dst] = (coerce_i64(v) if dt == 1
                                      else float(v) if dt == 2 else bool(v))
                     else:  # STORE
                         _, (am, ap), (vm, vp) = row
@@ -243,8 +257,201 @@ class Interpreter:
         trace.stores = n_stores
         return trace
 
+    # ------------------------------------------------------------------
+    # Vectorized wave execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wave_write(regs, defined, dst, wave, vals, n_threads):
+        """Scatter a batch result into the per-register thread arrays,
+        promoting to ``object`` dtype on a cross-block dtype conflict."""
+        arr = regs.get(dst)
+        if arr is None:
+            arr = np.zeros(n_threads, vals.dtype)
+            regs[dst] = arr
+            defined[dst] = np.zeros(n_threads, bool)
+        elif arr.dtype != vals.dtype:
+            if arr.dtype.kind != "O":
+                obj = np.empty(n_threads, object)
+                obj[:] = arr.tolist()
+                arr = regs[dst] = obj
+            vals = np.array(vals.tolist(), dtype=object)
+        arr[wave] = vals
+        defined[dst][wave] = True
+
+    @staticmethod
+    def _wave_values(regs, defined, wave, mode, payload):
+        """Fetch one operand for a wave: a register's thread slice, a
+        constant, or the tid array.  ``None`` means some thread reads an
+        undefined register (scalar fallback reproduces the error)."""
+        if mode == 1:
+            d = defined.get(payload)
+            if d is None or not d[wave].all():
+                return None
+            return regs[payload][wave]
+        if mode == 0:
+            return payload
+        return wave
+
+    def _run_wave(self, n_threads: int) -> Optional[InterpResult]:
+        """Execute all threads as vectorized waves.
+
+        Threads sharing a basic block evaluate each instruction as one
+        :func:`repro.ir.vecops.vec_eval` batch.  Stores are buffered and
+        committed in ``(tid, program order)`` — the scalar thread-major
+        order — and a store to an address some earlier-or-equal ``(tid,
+        program position)`` loaded (:func:`stores_after_loads`) aborts
+        the wave (returns ``None``) so the sequential path, whose
+        results are the contract, reruns from untouched memory.  The
+        same bail-out covers undefined registers, invalid addresses and
+        visit-bound overruns: the scalar path raises the exact errors.
+        """
+        kernel = self.kernel
+        plan = self._plan
+        data = self.memory.data
+        size = data.shape[0]
+        max_visits = self.max_block_visits
+        regs: Dict[str, np.ndarray] = {}
+        defined: Dict[str, np.ndarray] = {}
+        visits = np.zeros(n_threads, np.int64)
+        blocks_trace: List[List[str]] = [[] for _ in range(n_threads)]
+        counts = np.zeros((n_threads, 3), np.int64)
+        load_log: List = []  # (wave, addrs, seq), in wave order
+        store_log: List = []  # (wave, addrs, f64 values), in wave order
+        store_seq: List[int] = []
+        seq = 0  # program-order counter shared by the hazard keys
+        frontier: Dict[str, np.ndarray] = {
+            kernel.entry: np.arange(n_threads, dtype=np.int64)
+        }
+        while frontier:
+            block_name, wave = frontier.popitem()
+            (rows, bi, bl, bs, tcode, cond,
+             true_target, false_target) = plan[block_name]
+            visits[wave] += 1
+            if int(visits[wave].max()) > max_visits:
+                return None
+            for t in wave.tolist():
+                blocks_trace[t].append(block_name)
+            counts[wave, 0] += bi
+            counts[wave, 1] += bl
+            counts[wave, 2] += bs
+            n = wave.shape[0]
+            for row in rows:
+                seq += 1
+                tag = row[0]
+                if tag == 2:  # ALU / SFU
+                    srcs, dst, dt, op = row[2], row[3], row[4], row[5]
+                    args = []
+                    for m, p in srcs:
+                        v = self._wave_values(regs, defined, wave, m, p)
+                        if v is None and m == 1:
+                            return None
+                        args.append(v)
+                    vals = vec_eval(op, tuple(args), dt, n)
+                    self._wave_write(regs, defined, dst, wave, vals,
+                                     n_threads)
+                elif tag == 0:  # LOAD
+                    am, ap = row[1]
+                    a = self._wave_values(regs, defined, wave, am, ap)
+                    if a is None and am == 1:
+                        return None
+                    addrs = addr_batch(a, n, size)
+                    if addrs is None:
+                        return None
+                    load_log.append((wave, addrs, seq))
+                    raw = data[addrs]
+                    dt = row[3]
+                    vals = (f2i_array(raw) if dt == 1
+                            else raw if dt == 2 else raw != 0)
+                    self._wave_write(regs, defined, row[2], wave, vals,
+                                     n_threads)
+                else:  # STORE
+                    am, ap = row[1]
+                    a = self._wave_values(regs, defined, wave, am, ap)
+                    if a is None and am == 1:
+                        return None
+                    addrs = addr_batch(a, n, size)
+                    if addrs is None:
+                        return None
+                    vm, vp = row[2]
+                    v = self._wave_values(regs, defined, wave, vm, vp)
+                    if v is None and vm == 1:
+                        return None
+                    fvals = f64_batch(v, n)
+                    if fvals is None:
+                        return None
+                    store_log.append((wave, addrs, fvals))
+                    store_seq.append(seq)
+            if tcode == 0:
+                continue
+            if tcode == 1:
+                nxt = frontier.get(true_target)
+                frontier[true_target] = (wave if nxt is None
+                                         else np.concatenate((nxt, wave)))
+                continue
+            cm, cp = cond
+            cv = self._wave_values(regs, defined, wave, cm, cp)
+            if cv is None and cm == 1:
+                return None
+            if isinstance(cv, np.ndarray):
+                if cv.dtype.kind == "b":
+                    taken = cv
+                elif cv.dtype.kind in "if":
+                    taken = cv != 0
+                else:
+                    taken = np.array([bool(x) for x in cv.tolist()])
+            else:
+                taken = np.full(n, bool(cv))
+            for target, part in ((true_target, wave[taken]),
+                                 (false_target, wave[~taken])):
+                if part.shape[0]:
+                    nxt = frontier.get(target)
+                    frontier[target] = (part if nxt is None
+                                        else np.concatenate((nxt, part)))
+        if store_log and load_log and not stores_after_loads(
+            np.concatenate([a for _, a, _ in load_log]),
+            np.concatenate([hazard_key(w, s) for w, _, s in load_log]),
+            np.concatenate([a for _, a, _ in store_log]),
+            np.concatenate([hazard_key(w, _s)
+                            for (w, _, _), _s in zip(store_log, store_seq)]),
+        ):
+            return None
+        # Commit stores in scalar (thread-major, then program) order so
+        # the per-address last writer matches the sequential contract.
+        if store_log:
+            all_t = np.concatenate([w for w, _, _ in store_log])
+            all_a = np.concatenate([a for _, a, _ in store_log])
+            all_v = np.concatenate([v for _, _, v in store_log])
+            all_s = np.concatenate([
+                np.full(w.shape[0], s, np.int64)
+                for (w, _, _), s in zip(store_log, store_seq)
+            ])
+            order = np.lexsort((all_s, all_t))
+            data[all_a[order]] = all_v[order]
+        traces = []
+        for tid in range(n_threads):
+            tr = ThreadTrace(tid, blocks_trace[tid])
+            tr.instructions = int(counts[tid, 0])
+            tr.loads = int(counts[tid, 1])
+            tr.stores = int(counts[tid, 2])
+            traces.append(tr)
+        result = InterpResult(kernel, n_threads, traces)
+        for t in traces:
+            result.block_visits.update(t.blocks)
+        return result
+
     def run(self, n_threads: int) -> InterpResult:
-        """Execute ``n_threads`` threads (TIDs 0..n-1) sequentially."""
+        """Execute ``n_threads`` threads (TIDs 0..n-1).
+
+        By default threads at the same basic block are evaluated as one
+        numpy batch through :mod:`repro.ir.vecops`; results are
+        identical to the sequential walk, which remains the fallback
+        (and the forced path under ``REPRO_SCALAR_EXEC=1``) for
+        hazardous or erroneous kernels.
+        """
+        if n_threads >= 4 and not scalar_exec_requested():
+            result = self._run_wave(n_threads)
+            if result is not None:
+                return result
         traces = [self.run_thread(tid) for tid in range(n_threads)]
         result = InterpResult(self.kernel, n_threads, traces)
         for t in traces:

@@ -230,20 +230,29 @@ def _as_bool(x: Union[int, float, bool]) -> bool:
 # Pinned edge-case semantics
 # ----------------------------------------------------------------------
 # Every opcode below is *total*: no input (division by zero, out-of-range
-# shift amount, non-finite float) may raise.  The full contract is the
-# table in ``docs/fuzzing.md`` ("Edge-case arithmetic semantics") and is
-# unit-tested per opcode in ``tests/test_instr_semantics.py``; the
+# shift amount, non-finite float) may raise.  The full contract is
+# rendered as the normative table in ``docs/semantics.md`` and is
+# unit-tested per opcode in ``tests/test_instr_semantics.py`` (scalar)
+# and ``tests/test_vecops.py`` (the numpy batch kernels in
+# :mod:`repro.ir.vecops`, which must agree bit-for-bit); the
 # differential fuzzer (``repro.fuzz``) relies on it to generate
 # arbitrary operand values without crashing any substrate.
 #
+#   integer ops   operands/results -> wrapping signed 64-bit two's
+#                                      complement (the INT datapath is
+#                                      a 64-bit register, like SHL
+#                                      always was); float operands of
+#                                      integer ops convert by the F2I
+#                                      rule first
 #   DIV / REM     divisor 0        -> 0 (hardware-style "garbage" pinned
 #                                      to a deterministic value)
+#   DIV           INT64_MIN / -1   -> INT64_MIN (wraps)
 #   SHL / SHR     shift amount     -> masked to [0, 63] (64-bit datapath)
-#   SHL           result           -> wraps to signed 64-bit two's
-#                                      complement (bounds value growth)
 #   F2I           NaN              -> 0
 #                 out of i64 range -> saturates to INT64_MIN/MAX
-#   I2F           |a| > DBL_MAX    -> +/-inf
+#                 (also the rule for *every* float->int conversion:
+#                 INT-typed result coercion, int-op operands, addresses)
+#   I2F           |a| > DBL_MAX    -> +/-inf;  NaN -> NaN
 #   FDIV          x/0              -> +/-inf (IEEE sign), 0/0, nan/0 -> nan
 #   FSQRT         a < 0            -> nan
 #   FRSQRT        a == 0           -> +inf;  a < 0 -> nan
@@ -265,22 +274,59 @@ def _wrap_i64(v: int) -> int:
     return v - (1 << 64) if v & _I64_SIGN else v
 
 
+def _asi(v) -> int:
+    """Integer-op operand conversion: the INT datapath is a signed
+    64-bit register, so integer values wrap and floats convert by the
+    pinned F2I rule (truncate toward zero, NaN -> 0, saturate)."""
+    if isinstance(v, float):
+        return _f2i(v)
+    return _wrap_i64(int(v))
+
+
+def coerce_i64(v) -> int:
+    """INT-typed result coercion (total): wraps integers to the 64-bit
+    datapath, converts floats by the pinned F2I rule."""
+    if isinstance(v, float):
+        return _f2i(v)
+    return _wrap_i64(int(v))
+
+
+def _add(a, b) -> int:
+    return _wrap_i64(_asi(a) + _asi(b))
+
+
+def _sub(a, b) -> int:
+    return _wrap_i64(_asi(a) - _asi(b))
+
+
+def _mul(a, b) -> int:
+    return _wrap_i64(_asi(a) * _asi(b))
+
+
 def _div(a, b) -> int:
-    a, b = int(a), int(b)
-    return a // b if b else 0
+    a, b = _asi(a), _asi(b)
+    return _wrap_i64(a // b) if b else 0
 
 
 def _rem(a, b) -> int:
-    a, b = int(a), int(b)
+    a, b = _asi(a), _asi(b)
     return a % b if b else 0
 
 
 def _shl(a, b) -> int:
-    return _wrap_i64(int(a) << (int(b) & 63))
+    return _wrap_i64(_asi(a) << (_asi(b) & 63))
 
 
 def _shr(a, b) -> int:
-    return int(a) >> (int(b) & 63)
+    return _asi(a) >> (_asi(b) & 63)
+
+
+def _neg(a) -> int:
+    return _wrap_i64(-_asi(a))
+
+
+def _abs(a) -> int:
+    return _wrap_i64(abs(_asi(a)))
 
 
 def _f2i(a) -> int:
@@ -295,10 +341,16 @@ def _f2i(a) -> int:
 
 
 def _i2f(a) -> float:
+    if isinstance(a, float):
+        if a != a or a in (math.inf, -math.inf):
+            return a  # NaN / infinities propagate (pinned)
+        a = int(a)
+    else:
+        a = int(a)
     try:
-        return float(int(a))
+        return float(a)
     except OverflowError:
-        return math.inf if int(a) > 0 else -math.inf
+        return math.inf if a > 0 else -math.inf
 
 
 def _fdiv(a, b) -> float:
@@ -365,19 +417,19 @@ def _ffloor(a) -> float:
 #: machines are functionally identical by construction.  Every function
 #: is total (see the pinned edge-case table above / docs/fuzzing.md).
 EVAL: Dict[Op, Callable] = {
-    Op.ADD: lambda a, b: int(a) + int(b),
-    Op.SUB: lambda a, b: int(a) - int(b),
-    Op.MUL: lambda a, b: int(a) * int(b),
-    Op.MIN: lambda a, b: min(int(a), int(b)),
-    Op.MAX: lambda a, b: max(int(a), int(b)),
-    Op.AND: lambda a, b: int(a) & int(b),
-    Op.OR: lambda a, b: int(a) | int(b),
-    Op.XOR: lambda a, b: int(a) ^ int(b),
+    Op.ADD: _add,
+    Op.SUB: _sub,
+    Op.MUL: _mul,
+    Op.MIN: lambda a, b: min(_asi(a), _asi(b)),
+    Op.MAX: lambda a, b: max(_asi(a), _asi(b)),
+    Op.AND: lambda a, b: _asi(a) & _asi(b),
+    Op.OR: lambda a, b: _asi(a) | _asi(b),
+    Op.XOR: lambda a, b: _asi(a) ^ _asi(b),
     Op.SHL: _shl,
     Op.SHR: _shr,
-    Op.NEG: lambda a: -int(a),
-    Op.NOT: lambda a: (not _as_bool(a)) if isinstance(a, bool) else ~int(a),
-    Op.ABS: lambda a: abs(int(a)),
+    Op.NEG: _neg,
+    Op.NOT: lambda a: (not _as_bool(a)) if isinstance(a, bool) else ~_asi(a),
+    Op.ABS: _abs,
     Op.FADD: lambda a, b: float(a) + float(b),
     Op.FSUB: lambda a, b: float(a) - float(b),
     Op.FMUL: lambda a, b: float(a) * float(b),

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Tuple
 
+from repro.memory.calendar import claim_slot
+
 
 class NextLevel(Protocol):
     """Anything a cache can miss into (another cache or DRAM)."""
@@ -95,12 +97,11 @@ class Cache:
         self.stats = CacheStats()
         # set index -> list of [tag, dirty] in LRU order (front = LRU)
         self._sets: Dict[int, List[List]] = {}
-        # bank -> set of occupied (integer) cycles, plus the highest one.
-        # A calendar rather than a free-pointer so that requests arriving
-        # out of simulation order can backfill idle cycles instead of
-        # queueing behind logically-later requests.
-        self._bank_busy: Dict[int, set] = {}
-        self._bank_high: Dict[int, int] = {}
+        # bank -> path-compressed next-free-pointer calendar
+        # (repro.memory.calendar): requests arriving out of simulation
+        # order backfill idle cycles instead of queueing behind
+        # logically-later requests, at amortized O(1) per claim.
+        self._bank_next: Dict[int, Dict[int, int]] = {}
         # line address -> in-flight fill completion time (MSHR)
         self._mshr: Dict[int, float] = {}
 
@@ -117,19 +118,14 @@ class Cache:
     def _bank_start(self, time: float, bank: int) -> float:
         """Claim the first free cycle of ``bank`` at or after ``time``
         (one access per bank per cycle)."""
-        t = int(time) if time == int(time) else int(time) + 1
-        busy = self._bank_busy.get(bank)
-        if busy is None:
-            busy = set()
-            self._bank_busy[bank] = busy
-        start = t
-        if start <= self._bank_high.get(bank, -1):
-            while start in busy:
-                start += 1
-        busy.add(start)
-        if start > self._bank_high.get(bank, -1):
-            self._bank_high[bank] = start
-        self.stats.bank_wait_cycles += start - t
+        ti = int(time)
+        t = ti if ti == time else ti + 1
+        nf = self._bank_next.get(bank)
+        if nf is None:
+            nf = self._bank_next[bank] = {}
+        start = claim_slot(nf, t)
+        if start > t:
+            self.stats.bank_wait_cycles += start - t
         return float(start)
 
     def _lookup(self, set_idx: int, tag: int) -> Optional[List]:

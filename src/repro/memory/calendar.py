@@ -1,0 +1,57 @@
+"""Shared slot-calendar primitive for the timing models.
+
+Every resource in the timing models that serves one request per cycle —
+cache banks, DRAM channel burst slots, fabric unit issue ports — is a
+*calendar*: a request arriving at time ``t`` claims the first free
+integer slot at or after ``t``, backfilling idle slots that logically
+preceded already-recorded traffic (the simulators process whole threads
+sequentially, so a late-processed thread's early tokens must be able to
+claim earlier idle cycles — exactly what tagged-token hardware does).
+
+The naive occupied-slot set degenerates badly under contention: a
+saturated resource makes every probe scan linearly across the occupied
+region, and sweeps were measurably spending most of their cache-model
+time in ``while slot in busy: slot += 1`` (tens of millions of probes
+for the bank-heaviest kernels).  :func:`claim_slot` replaces the set
+with a path-compressed next-free-pointer map — the classic union-find
+"successor delete" structure — making each claim amortized near-O(1)
+while picking the **identical** slot.
+
+The map invariant: ``nf[s]`` exists iff slot ``s`` is occupied, and
+every slot in ``(s, nf[s])`` is also occupied, so following pointers
+from any occupied slot lands on the first free one.  After a claim the
+whole traversed chain is re-pointed at the new frontier, which is what
+keeps later probes short.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["claim_slot"]
+
+
+def claim_slot(nf: Dict[int, int], q: int) -> int:
+    """Claim and return the first free integer slot ``>= q``.
+
+    ``nf`` is the resource's next-free-pointer map (one per cache bank /
+    DRAM channel / fabric unit).  Equivalent to scanning an
+    occupied-slot set upward from ``q``, including the choice of slot —
+    only the cost differs.
+    """
+    s = nf.get(q)
+    if s is None:
+        nf[q] = q + 1
+        return q
+    j = nf.get(s)
+    while j is not None:
+        s = j
+        j = nf.get(s)
+    e = s + 1
+    nf[s] = e
+    p = q
+    while p != s:
+        pn = nf[p]
+        nf[p] = e
+        p = pn
+    return s

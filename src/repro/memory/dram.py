@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.arch.config import MemoryConfig
+from repro.memory.calendar import claim_slot
 
 
 @dataclass
@@ -92,9 +93,9 @@ class DRAM:
         # attached; `None` keeps the hot path to one attribute test.
         self.tracer = tracer
         self._banks: Dict[Tuple[int, int], _Bank] = {}
-        # channel -> occupied burst slots (slot = cycle // burst_cycles)
-        self._channel_busy: Dict[int, set] = {}
-        self._channel_high: Dict[int, int] = {}
+        # channel -> burst-slot calendar (slot = cycle // burst_cycles),
+        # path-compressed next-free pointers (repro.memory.calendar)
+        self._channel_next: Dict[int, Dict[int, int]] = {}
 
     def _locate(self, line_addr: int) -> Tuple[int, int, int]:
         cfg = self.config
@@ -111,13 +112,10 @@ class DRAM:
         slot = int(t // burst)
         if t > slot * burst:
             slot += 1
-        busy = self._channel_busy.setdefault(channel, set())
-        if slot <= self._channel_high.get(channel, -1):
-            while slot in busy:
-                slot += 1
-        busy.add(slot)
-        if slot > self._channel_high.get(channel, -1):
-            self._channel_high[channel] = slot
+        nf = self._channel_next.get(channel)
+        if nf is None:
+            nf = self._channel_next[channel] = {}
+        slot = claim_slot(nf, slot)
         return slot * burst
 
     def access(self, time: float, line_addr: int, is_write: bool) -> float:

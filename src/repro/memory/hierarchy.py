@@ -17,6 +17,7 @@ from repro.arch.config import MemoryConfig
 from repro.memory.cache import Cache, CacheStats
 from repro.memory.coalescer import line_address_of_word
 from repro.memory.dram import DRAM
+from repro.memory.image import WORD_BYTES
 
 
 class MemorySystem:
@@ -69,6 +70,7 @@ class MemorySystem:
             write_validate=l1_write_back,
             tracer=tracer,
         )
+        self._l1_line_words = config.l1_line_bytes // WORD_BYTES
 
     # -- scalar (VGIW/SGMF LDST units) ---------------------------------
     def access_word(self, time: float, word_addr: int, is_write: bool) -> float:
@@ -77,8 +79,11 @@ class MemorySystem:
         Banks are word-interleaved for scalar clients so that the 32
         banks serve 32 consecutive words of a line concurrently.
         """
-        line = line_address_of_word(word_addr, self.config.l1_line_bytes)
-        bank = int(word_addr) % self.config.l1_banks
+        # line_address_of_word, with the per-line word count hoisted —
+        # this is the hottest entry point of both dataflow simulators.
+        word_addr = int(word_addr)
+        line = word_addr // self._l1_line_words
+        bank = word_addr % self.config.l1_banks
         done = self.l1.access(time, line, is_write, bank=bank)
         if self.faults is not None and self.faults.drop_response(
             "l1-word", word_addr, time
@@ -160,8 +165,6 @@ class LiveValueCache:
         self._ports: dict = {}
 
     def _line_addr(self, lv_id: int, tid: int) -> int:
-        from repro.memory.image import WORD_BYTES
-
         word = lv_id * self.max_threads + tid
         return self.ADDRESS_SPACE_BASE + word * WORD_BYTES // self.line_bytes
 

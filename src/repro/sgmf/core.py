@@ -17,10 +17,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
+import numpy as np
+
 from repro.arch.config import SGMFConfig
 from repro.engine import CheckpointMixin, Checkpointer, EngineRunResult
-from repro.ir.instr import TermKind
+from repro.ir.instr import TermKind, coerce_i64
 from repro.ir.kernel import Kernel
+from repro.ir.vecops import (
+    addr_batch,
+    as_value_array,
+    f2i_array,
+    f64_batch,
+    hazard_key,
+    scalar_exec_requested,
+    stores_after_loads,
+    vec_eval,
+    vec_eval_raw,
+)
 from repro.ir.types import DType
 from repro.memory.cache import CacheStats
 from repro.memory.dram import DRAMStats
@@ -48,6 +61,7 @@ from repro.vgiw.mtcgrf import (
     FabricStats,
     _ReplicaState,
     build_exec_plan,
+    compile_timing,
 )
 
 Number = Union[int, float, bool]
@@ -262,6 +276,25 @@ class SGMFCore(CheckpointMixin):
                 trace.instant("snapshot", "watchdog", now, pid="sgmf")
             return snap
 
+        # Batched execution: one vectorized functional pass over all
+        # threads, then per-thread timing replays with stores committed
+        # at each thread boundary (so checkpoints and the watchdog see
+        # the scalar path's memory state).  A resumed run (next_thread
+        # > 0) stays scalar: its memory already holds earlier threads'
+        # stores.
+        batch = None
+        if (st["faults"] is None and st["next_thread"] == 0
+                and n_threads >= 4 and not scalar_exec_requested()):
+            batch = self._functional_waves(
+                kernel, plans[0], n_threads, memory, max_block_visits
+            )
+        if batch is not None:
+            st_a, st_v, bounds = (
+                batch["st_a"], batch["st_v"], batch["bounds"]
+            )
+            paths = batch["paths"]
+            mdata = memory.data
+
         end_time = st["clock"]
         i = st["next_thread"]
         while i < n_threads:
@@ -280,10 +313,20 @@ class SGMFCore(CheckpointMixin):
                     rep.inject_wait += bound - inject
                     inject = bound
             rep.inject_times.append(inject)
-            completion = self._run_thread(
-                kernel, plans[ridx], waste_units[ridx], rep, i, inject,
-                memory, memsys, stats, max_block_visits, wd, snapshot,
-            )
+            if batch is None:
+                completion = self._run_thread(
+                    kernel, plans[ridx], waste_units[ridx], rep, i, inject,
+                    memory, memsys, stats, max_block_visits, wd, snapshot,
+                )
+            else:
+                completion = self._run_thread_timing(
+                    plans[ridx], waste_units[ridx], rep, i, inject,
+                    paths[i], memsys, stats, wd, snapshot,
+                )
+                if bounds is not None:
+                    lo, hi = bounds[i], bounds[i + 1]
+                    if hi > lo:
+                        mdata[st_a[lo:hi]] = st_v[lo:hi]
             rep.next_inject = inject + 1.0
             rep.window.append(completion)
             end_time = max(end_time, completion)
@@ -338,6 +381,302 @@ class SGMFCore(CheckpointMixin):
             l2=memsys.l2_stats,
             dram=memsys.dram.stats,
         ).attach_obs(st["tracer"], metrics)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lv_write(regs, defined, reg, wave, vals, n_threads, n):
+        """Scatter a wave's live-value batch into the per-register
+        thread arrays, promoting to ``object`` dtype on conflict."""
+        if not isinstance(vals, np.ndarray):
+            vals = as_value_array([vals] * n, n)
+        arr = regs.get(reg)
+        if arr is None:
+            arr = np.zeros(n_threads, vals.dtype)
+            regs[reg] = arr
+            defined[reg] = np.zeros(n_threads, bool)
+        elif arr.dtype != vals.dtype:
+            if arr.dtype.kind != "O":
+                obj = np.empty(n_threads, object)
+                obj[:] = arr.tolist()
+                arr = regs[reg] = obj
+            vals = np.array(vals.tolist(), dtype=object)
+        arr[wave] = vals
+        defined[reg][wave] = True
+
+    def _functional_waves(
+        self,
+        kernel: Kernel,
+        plans: Dict[str, ExecPlan],
+        n_threads: int,
+        memory: MemoryImage,
+        max_block_visits: int,
+    ):
+        """Evaluate every thread's whole-kernel walk as vectorized waves.
+
+        Threads sharing a basic block evaluate each plan row as one
+        :func:`repro.ir.vecops.vec_eval` batch; live values are wires —
+        full-length per-register arrays indexed by tid.  Per-thread
+        block paths and per-row address lists are recorded for the
+        timing replay.  Returns ``None`` whenever the batch cannot
+        reproduce the scalar thread-major semantics exactly — a stored
+        address is loaded by an earlier-or-equal ``(tid, program
+        position)`` (checked by :func:`stores_after_loads`, so private
+        read-modify-writes stay on the batch path), a wire is read
+        before any thread wrote it, an address is invalid, or a thread
+        exceeds the visit bound — and the scalar walk reruns from
+        untouched state (no writes happen before the bail-out).
+
+        Buffered stores commit per thread in ``(tid, program order)``
+        via one lexsort; ``bounds[t] : bounds[t+1]`` slices thread
+        ``t``'s writes so :meth:`_drive` applies them at the exact
+        thread boundary the scalar path would have.
+        """
+        data = memory.data
+        size = memory.size
+        regs: Dict[str, np.ndarray] = {}
+        defined: Dict[str, np.ndarray] = {}
+        visits = np.zeros(n_threads, np.int64)
+        paths: List[List] = [[] for _ in range(n_threads)]
+        load_log: List = []  # (wave, addrs, seq)
+        store_log: List = []  # (wave, addrs, f64 values, seq)
+        seq = 0  # shared program-order counter for the hazard keys
+        frontier: Dict[str, np.ndarray] = {
+            kernel.entry: np.arange(n_threads, dtype=np.int64)
+        }
+        try:
+            while frontier:
+                name, wave = frontier.popitem()
+                plan = plans[name]
+                visits[wave] += 1
+                if int(visits[wave].max()) > max_block_visits:
+                    return None
+                n = wave.shape[0]
+                rec: Dict[int, List[int]] = {}
+                for j, t in enumerate(wave.tolist()):
+                    paths[t].append((name, rec, j))
+                value: List[object] = [None] * plan.n_nodes
+                next_name = None
+                taken = None
+                for ri, row in enumerate(plan.rows):
+                    tag = row[0]
+                    if tag == T_INIT:
+                        value[row[1]] = wave
+                    elif tag == T_OP or tag == T_SCU:
+                        args = []
+                        for m, p in row[6]:
+                            v = (p if m == 0
+                                 else value[p] if m == 1 else wave)
+                            if v is None and m == 1:
+                                return None
+                            args.append(v)
+                        dt = row[7]
+                        if dt == 0:
+                            value[row[1]] = vec_eval_raw(
+                                row[8], tuple(args), n
+                            )
+                        else:
+                            value[row[1]] = vec_eval(
+                                row[8], tuple(args), dt, n
+                            )
+                    elif tag == T_LVLOAD:
+                        reg = row[5].out_reg
+                        d = defined.get(reg)
+                        if d is None or not d[wave].all():
+                            return None
+                        value[row[1]] = regs[reg][wave]
+                    elif tag == T_LVSTORE:
+                        m, p = row[5]
+                        v = p if m == 0 else value[p] if m == 1 else wave
+                        if v is None and m == 1:
+                            return None
+                        self._lv_write(
+                            regs, defined, row[6].out_reg, wave, v,
+                            n_threads, n,
+                        )
+                    elif tag == T_LOAD:
+                        m, p = row[4]
+                        a = p if m == 0 else value[p] if m == 1 else wave
+                        if a is None and m == 1:
+                            return None
+                        addrs = addr_batch(a, n, size)
+                        if addrs is None:
+                            return None
+                        rec[ri] = addrs.tolist()
+                        seq += 1
+                        load_log.append((wave, addrs, seq))
+                        raw = data[addrs]
+                        value[row[1]] = f2i_array(raw) if row[5] else raw
+                    elif tag == T_STORE:
+                        m, p = row[4]
+                        a = p if m == 0 else value[p] if m == 1 else wave
+                        if a is None and m == 1:
+                            return None
+                        addrs = addr_batch(a, n, size)
+                        if addrs is None:
+                            return None
+                        rec[ri] = addrs.tolist()
+                        m, p = row[5]
+                        v = p if m == 0 else value[p] if m == 1 else wave
+                        if v is None and m == 1:
+                            return None
+                        fvals = f64_batch(v, n)
+                        if fvals is None:
+                            return None
+                        seq += 1
+                        store_log.append((wave, addrs, fvals, seq))
+                    elif tag == T_SJ:
+                        if row[5] is not None:
+                            m, p = row[5]
+                            v = (p if m == 0
+                                 else value[p] if m == 1 else wave)
+                            if v is None and m == 1:
+                                return None
+                            value[row[1]] = v
+                    else:  # T_TERM
+                        kind = plan.term_kind
+                        if kind is TermKind.RET:
+                            next_name = None
+                        elif kind is TermKind.JMP:
+                            next_name = plan.true_target
+                        else:
+                            m, p = row[4]
+                            c = (p if m == 0
+                                 else value[p] if m == 1 else wave)
+                            if c is None and m == 1:
+                                return None
+                            if isinstance(c, np.ndarray):
+                                if c.dtype.kind == "O":
+                                    taken = np.array(
+                                        [bool(x) for x in c.tolist()],
+                                        bool,
+                                    )
+                                else:
+                                    taken = c != 0
+                            else:
+                                next_name = (
+                                    plan.true_target if c
+                                    else plan.false_target
+                                )
+
+                if taken is not None:
+                    for target, sub in (
+                        (plan.true_target, wave[taken]),
+                        (plan.false_target, wave[~taken]),
+                    ):
+                        if not sub.shape[0]:
+                            continue
+                        prev = frontier.get(target)
+                        frontier[target] = (
+                            sub if prev is None
+                            else np.concatenate([prev, sub])
+                        )
+                elif next_name is not None:
+                    prev = frontier.get(next_name)
+                    frontier[next_name] = (
+                        wave if prev is None
+                        else np.concatenate([prev, wave])
+                    )
+        except (TypeError, ValueError, OverflowError, ZeroDivisionError):
+            return None
+
+        if store_log and load_log and not stores_after_loads(
+            np.concatenate([a for _, a, _ in load_log]),
+            np.concatenate([hazard_key(w, s) for w, _, s in load_log]),
+            np.concatenate([a for _, a, _, _ in store_log]),
+            np.concatenate([hazard_key(w, s) for w, _, _, s in store_log]),
+        ):
+            return None
+
+        if store_log:
+            all_t = np.concatenate([w for w, _, _, _ in store_log])
+            all_a = np.concatenate([a for _, a, _, _ in store_log])
+            all_v = np.concatenate([v for _, _, v, _ in store_log])
+            all_s = np.concatenate(
+                [np.full(w.shape[0], sq, np.int64)
+                 for w, _, _, sq in store_log]
+            )
+            order = np.lexsort((all_s, all_t))
+            st_a = all_a[order]
+            st_v = all_v[order]
+            bounds = np.searchsorted(
+                all_t[order], np.arange(n_threads + 1)
+            )
+        else:
+            st_a = st_v = bounds = None
+        return {"paths": paths, "st_a": st_a, "st_v": st_v,
+                "bounds": bounds}
+
+    def _run_thread_timing(
+        self,
+        plans: Dict[str, ExecPlan],
+        waste_units: Dict[str, List[int]],
+        rep: _ReplicaState,
+        tid: int,
+        inject: float,
+        path: List,
+        memsys: MemorySystem,
+        stats: FabricStats,
+        wd: ForwardProgressWatchdog,
+        snapshot,
+    ) -> float:
+        """Replay one batched thread's walk for timing only.
+
+        Walks the recorded block path with the compiled straight-line
+        timing functions (:func:`repro.vgiw.mtcgrf.compile_timing`,
+        SGMF flavour): same unit / memory request sequence, same
+        arithmetic, bit-identical cycles.  The waste-fire pass at the
+        end is the scalar walk's, verbatim.
+        """
+        config = self.config
+        entries = config.ldst_reservation_entries
+        scu_n = config.scu_instances
+        mem_access = memsys.access_word
+        ops = stats.ops
+        rr: Dict[str, float] = {}
+        visited = set()
+        completion = inject
+        entry_time = inject
+        visits = 0
+
+        for name, rec, j in path:
+            visits += 1
+            if not visits % 256:
+                wd.check(entry_time, snapshot)
+            visited.add(name)
+            plan = plans[name]
+            fn = plan.timing_fn
+            if fn is None:
+                fn = plan.timing_fn = compile_timing(
+                    plan, entries, scu_n, sgmf=True
+                )
+            block_completion, term_done = fn(
+                rep, mem_access, tid, entry_time, j, rec, rr
+            )
+            n = plan.n_nodes
+            stats.node_fires += n
+            stats.tokens += n
+            stats.token_hops += plan.total_hops
+            for cls, count in plan.ops_counts.items():
+                ops[cls] += count
+            if block_completion > completion:
+                completion = block_completion
+            entry_time = term_done + 1.0
+
+        issue = rep.issue
+        waste_time = inject + 0.5 * (completion - inject)
+        for name, plan in plans.items():
+            if name in visited:
+                continue
+            n = plan.n_nodes
+            stats.node_fires += n
+            stats.tokens += n
+            self._waste_fires += n
+            for cls, count in plan.ops_counts.items():
+                ops[cls] += count
+            for uid in waste_units[name]:
+                issue(uid, waste_time)
+
+        return completion
 
     # ------------------------------------------------------------------
     def _run_thread(
@@ -434,7 +773,7 @@ class SGMFCore(CheckpointMixin):
                     result = row[5](*args)
                     dt = row[7]
                     if dt == 1:
-                        result = int(result)
+                        result = coerce_i64(result)
                     elif dt == 2:
                         result = float(result)
                     if faults is not None:
@@ -464,7 +803,7 @@ class SGMFCore(CheckpointMixin):
                     retire_mem(row[2], fin)
                     done[nid] = fin
                     raw = mem_read(addr)
-                    value[nid] = int(raw) if row[5] else raw
+                    value[nid] = coerce_i64(raw) if row[5] else raw
                 elif tag == T_STORE:
                     m, p = row[4]
                     addr = int(p if m == 0 else value[p] if m == 1 else tid)

@@ -50,6 +50,7 @@ class SIMTStack:
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
+        """True once every entry has retired — the warp has exited."""
         return not self.stack
 
     def _transparent(self, entry: StackEntry) -> bool:
@@ -61,6 +62,7 @@ class SIMTStack:
         return entry.next_block == EXIT or entry.next_block == entry.reconv
 
     def current(self) -> StackEntry:
+        """The active (top-of-stack) entry, skipping transparent ones."""
         if not self.stack:
             raise SIMTStackError("warp already finished")
         top = self.stack[-1]

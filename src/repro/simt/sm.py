@@ -79,10 +79,12 @@ class SMStats:
 
     @property
     def rf_accesses(self) -> int:
+        """Total register-file accesses (reads + writes)."""
         return self.rf_reads + self.rf_writes
 
     @property
     def simd_efficiency(self) -> float:
+        """Fraction of issued lane slots that did useful work."""
         total = self.lane_ops + self.wasted_lane_slots
         return self.lane_ops / total if total else 1.0
 

@@ -41,6 +41,7 @@ def make_batches(tids: Iterable[int], word_bits: int = BATCH_BITS) -> List[Tuple
 
 
 def batch_popcount(bitmap: int) -> int:
+    """Number of set bits — threads pending — in a block's vector."""
     return bin(bitmap).count("1")
 
 

@@ -94,6 +94,7 @@ class VGIWRunResult(EngineRunResult):
 
     @property
     def lvc_accesses(self) -> int:
+        """Total live value cache accesses (reads + writes)."""
         return self.lvc_reads + self.lvc_writes
 
     @property

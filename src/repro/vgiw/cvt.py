@@ -28,6 +28,7 @@ class CVTStats:
 
     @property
     def accesses(self) -> int:
+        """Total CVT word accesses (reads + writes)."""
         return self.word_reads + self.word_writes
 
 
@@ -88,6 +89,7 @@ class ControlVectorTable:
 
     # ------------------------------------------------------------------
     def is_empty(self, block_id: int) -> bool:
+        """True when no thread is pending for ``block_id``."""
         return self._vectors[block_id] == 0
 
     def first_nonempty(self) -> Optional[int]:
@@ -120,6 +122,7 @@ class ControlVectorTable:
         return None
 
     def pending_count(self, block_id: int) -> int:
+        """Number of threads pending for ``block_id`` (popcount)."""
         return bin(self._vectors[block_id]).count("1")
 
     def check_invariant(self) -> None:

@@ -40,8 +40,22 @@ from repro.compiler.dfg import (
     TidSrc,
 )
 from repro.compiler.pipeline import CompiledBlock
-from repro.ir.instr import EVAL, Op, TermKind
+import numpy as np
+
+from repro.ir.instr import EVAL, Op, TermKind, coerce_i64
+from repro.ir.vecops import (
+    addr_batch,
+    as_value_array,
+    f2i_array,
+    f64_batch,
+    hazard_key,
+    scalar_exec_requested,
+    stores_after_loads,
+    vec_eval,
+    vec_eval_raw,
+)
 from repro.ir.types import DType
+from repro.memory.calendar import claim_slot
 from repro.memory.hierarchy import LiveValueCache, MemorySystem
 from repro.memory.image import MemoryImage
 from repro.resilience.errors import SimulationError
@@ -65,6 +79,7 @@ class FabricStats:
     node_fires: int = 0
 
     def merge(self, other: "FabricStats") -> None:
+        """Accumulate another block execution's counters into this one."""
         self.ops.update(other.ops)
         self.tokens += other.tokens
         self.token_hops += other.token_hops
@@ -142,6 +157,9 @@ T_INIT, T_LVLOAD, T_LVSTORE, T_LOAD, T_STORE, T_TERM, T_SJ, T_OP, T_SCU = (
 #: operand-source modes: resolved constant / upstream node value / tid
 SRC_CONST, SRC_NODE, SRC_TID = range(3)
 
+#: sentinel distinguishing "live value never stored" from stored falsy
+_MISSING = object()
+
 
 def resolve_src(src, params: Dict[str, Number]) -> Tuple[int, Number]:
     """Fold one DFG operand source into a ``(mode, payload)`` pair."""
@@ -166,12 +184,14 @@ class ExecPlan:
     __slots__ = (
         "rows", "n_nodes", "total_hops", "ops_counts", "sinks",
         "block_name", "term_kind", "true_target", "false_target",
-        "term_nid",
+        "term_nid", "timing_fn",
     )
 
     def __init__(self, rows, n_nodes, total_hops, ops_counts, sinks,
                  block_name, term_kind, true_target, false_target,
                  term_nid):
+        #: lazily compiled straight-line timing walk (vectorized mode)
+        self.timing_fn = None
         self.rows = rows
         self.n_nodes = n_nodes
         self.total_hops = total_hops
@@ -257,6 +277,7 @@ def build_exec_plan(
             rows.append((
                 tag, nid, uid, inputs, latency, EVAL[node.op],
                 tuple(resolve_src(s, params) for s in node.srcs), dt,
+                node.op,
             ))
     return ExecPlan(
         rows=rows,
@@ -270,6 +291,194 @@ def build_exec_plan(
         false_target=dfg.false_target,
         term_nid=dfg.term_node,
     )
+
+
+def _emit_issue(L, u: int) -> None:
+    """Emit the unit-calendar claim (``_ReplicaState.issue``) inline:
+    the path-compressed ``claim_slot`` probe, same ``unit_wait``
+    accounting, no call frame."""
+    L.append("    q = int(r)")
+    L.append("    if q != r:")
+    L.append("        q += 1")
+    L.append(f"    s = nf_{u}.get(q)")
+    L.append("    if s is None:")
+    L.append(f"        nf_{u}[q] = q + 1")
+    L.append("        s = q")
+    L.append("    else:")
+    L.append(f"        j = nf_{u}.get(s)")
+    L.append("        while j is not None:")
+    L.append("            s = j")
+    L.append(f"            j = nf_{u}.get(s)")
+    L.append(f"        nf_{u}[s] = e = s + 1")
+    L.append("        p = q")
+    L.append("        while p != s:")
+    L.append(f"            pn = nf_{u}[p]")
+    L.append(f"            nf_{u}[p] = e")
+    L.append("            p = pn")
+    L.append(f"        uw[{u}] = uw.get({u}, 0.0) + (s - q)")
+
+
+def compile_timing(plan: ExecPlan, entries: int, scu_instances: int,
+                   sgmf: bool = False):
+    """Generate the straight-line timing walk for one plan.
+
+    The vectorized engines split each block into a batched functional
+    pass and a per-thread timing replay; this compiles the replay into
+    one specialised Python function per (block, replica): rows are
+    unrolled, unit IDs / latencies / hop counts are constant-folded,
+    ``done`` times live in locals, and the
+    :meth:`_ReplicaState.issue` / :meth:`_ReplicaState.issue_mem` /
+    :meth:`_ReplicaState.issue_scu` calendars are inlined with per-unit
+    state hoisted into locals.  The arithmetic is the interpreted
+    walk's, in the same order, so cycle counts stay bit-identical
+    (asserted by the golden-cycle gate and the differential fuzzer).
+
+    VGIW flavour (``sgmf=False``)::
+
+        fn(rep, mem_access, lvc_access, tid, inject, ti, alists) -> completion
+
+    SGMF flavour (``sgmf=True`` — wired live values, no LVC)::
+
+        fn(rep, mem_access, tid, entry, ti, alists, rr)
+            -> (completion, term_done)
+
+    ``ti`` indexes this thread inside the batch; ``alists`` maps a
+    memory row's index to its per-thread address list; ``rr`` is the
+    SGMF thread's ``regs_ready`` wire-timing dict.
+    """
+    issue_uids = set()
+    mem_uids = set()
+    scu_uids = set()
+    mem_rows = []
+    for ri, row in enumerate(plan.rows):
+        tag = row[0]
+        if tag in (T_OP, T_SJ, T_TERM):
+            issue_uids.add(row[2])
+        elif tag == T_SCU:
+            issue_uids.add(row[2])
+            scu_uids.add(row[2])
+        elif tag in (T_LOAD, T_STORE):
+            issue_uids.add(row[2])
+            mem_uids.add(row[2])
+            mem_rows.append(ri)
+        elif tag in (T_LVLOAD, T_LVSTORE) and not sgmf:
+            issue_uids.add(row[2])
+            mem_uids.add(row[2])
+
+    L = []
+    if sgmf:
+        L.append("def __timing(rep, mem_access, tid, entry, ti, alists,"
+                 " rr):")
+        L.append("    inject = entry")
+    else:
+        L.append("def __timing(rep, mem_access, lvc_access, tid, inject,"
+                 " ti, alists):")
+    L.append("    un = rep.unit_next")
+    L.append("    uw = rep.unit_wait")
+    for u in sorted(issue_uids):
+        L.append(f"    nf_{u} = un.get({u})")
+        L.append(f"    if nf_{u} is None:")
+        L.append(f"        nf_{u} = un[{u}] = {{}}")
+    for u in sorted(mem_uids):
+        L.append(f"    out_{u} = rep.ldst_outstanding.setdefault({u}, [])")
+    for u in sorted(scu_uids):
+        L.append(f"    pool_{u} = rep.scu_pool.setdefault"
+                 f"({u}, [0.0] * {scu_instances})")
+    for ri in mem_rows:
+        L.append(f"    a_{ri} = alists[{ri}]")
+
+    def emit_ready(row):
+        L.append("    r = inject")
+        for up, hop in row[3]:
+            if hop:
+                L.append(f"    t = d{up} + {float(hop)!r}")
+            else:
+                L.append(f"    t = d{up}")
+            L.append("    if t > r:")
+            L.append("        r = t")
+
+    def emit_mem_preamble(u):
+        L.append(f"    if len(out_{u}) >= {entries}:")
+        L.append(f"        old = heappop(out_{u})")
+        L.append("        if old > r:")
+        L.append(f"            uw[{u}] = uw.get({u}, 0.0) + (old - r)")
+        L.append("            r = old")
+
+    for ri, row in enumerate(plan.rows):
+        tag = row[0]
+        if tag == T_INIT:
+            L.append(f"    d{row[1]} = inject")
+            continue
+        nid, u = row[1], row[2]
+        if tag == T_OP:
+            emit_ready(row)
+            _emit_issue(L, u)
+            L.append(f"    d{nid} = s + {float(row[4])!r}")
+        elif tag == T_SCU:
+            emit_ready(row)
+            L.append(f"    e = heappop(pool_{u})")
+            L.append("    if e > r:")
+            L.append("        r = e")
+            _emit_issue(L, u)
+            L.append(f"    heappush(pool_{u}, s + {float(row[4])!r})")
+            L.append(f"    d{nid} = s + {float(row[4])!r}")
+        elif tag in (T_LOAD, T_STORE):
+            emit_ready(row)
+            emit_mem_preamble(u)
+            _emit_issue(L, u)
+            rw = "True" if tag == T_STORE else "False"
+            L.append(f"    c = mem_access(float(s), a_{ri}[ti], {rw})")
+            L.append(f"    heappush(out_{u}, c)")
+            L.append(f"    d{nid} = c")
+        elif tag == T_LVLOAD:
+            if sgmf:
+                # Wired live value: a one-cycle hop from the producer
+                # (the interpreted walk ignores ``ready`` here too).
+                L.append(f"    t = rr[{row[5].out_reg!r}] + 1")
+                L.append(f"    d{nid} = inject if inject >= t else t")
+            else:
+                emit_ready(row)
+                emit_mem_preamble(u)
+                _emit_issue(L, u)
+                L.append(f"    c = lvc_access(float(s), {row[4]}, tid,"
+                         f" False, port={u})")
+                L.append(f"    heappush(out_{u}, c)")
+                L.append(f"    d{nid} = c")
+        elif tag == T_LVSTORE:
+            if sgmf:
+                emit_ready(row)
+                L.append(f"    d{nid} = r")
+                L.append(f"    rr[{row[6].out_reg!r}] = r")
+            else:
+                emit_ready(row)
+                emit_mem_preamble(u)
+                _emit_issue(L, u)
+                L.append(f"    c = lvc_access(float(s), {row[4]}, tid,"
+                         f" True, port={u})")
+                L.append(f"    heappush(out_{u}, c)")
+                L.append(f"    d{nid} = c")
+        elif tag == T_SJ:
+            emit_ready(row)
+            _emit_issue(L, u)
+            L.append(f"    d{nid} = s + {float(row[4])!r}")
+        else:  # T_TERM
+            emit_ready(row)
+            _emit_issue(L, u)
+            L.append(f"    d{nid} = s + 1.0")
+
+    sinks = plan.sinks
+    L.append(f"    c = d{sinks[0]}")
+    for snk in sinks[1:]:
+        L.append(f"    if d{snk} > c:")
+        L.append(f"        c = d{snk}")
+    if sgmf:
+        L.append(f"    return c, d{plan.term_nid}")
+    else:
+        L.append("    return c")
+
+    ns = {"heappush": heapq.heappush, "heappop": heapq.heappop}
+    exec(compile("\n".join(L), f"<timing:{plan.block_name}>", "exec"), ns)
+    return ns["__timing"]
 
 
 def _op_energy_class(node, op: Optional[Op]) -> str:
@@ -293,16 +502,16 @@ class _ReplicaState:
     """Per-replica physical resource timelines.
 
     Units issue one operation per cycle (II = 1), modelled as per-unit
-    *calendars* (occupied-cycle sets with backfill) rather than monotone
-    free pointers: the simulators process whole threads sequentially, so
-    a late-processed thread's early tokens must be able to claim idle
+    *calendars* (path-compressed next-free-pointer maps,
+    :mod:`repro.memory.calendar`) rather than monotone free pointers:
+    the simulators process whole threads sequentially, so a
+    late-processed thread's early tokens must be able to claim idle
     unit cycles that logically preceded already-recorded traffic —
     exactly what tagged-token hardware does.
     """
 
     def __init__(self, config: VGIWConfig):
-        self.unit_busy: Dict[int, set] = {}
-        self.unit_high: Dict[int, int] = {}
+        self.unit_next: Dict[int, Dict[int, int]] = {}
         self.scu_pool: Dict[int, List[float]] = {}
         self.ldst_outstanding: Dict[int, List[float]] = {}
         self.config = config
@@ -329,17 +538,10 @@ class _ReplicaState:
         """
         ti = int(ready)
         t = ti if ti == ready else ti + 1
-        busy = self.unit_busy.get(uid)
-        if busy is None:
-            busy = self.unit_busy[uid] = set()
-        start = t
-        high = self.unit_high.get(uid, -1)
-        if start <= high:
-            while start in busy:
-                start += 1
-        busy.add(start)
-        if start > high:
-            self.unit_high[uid] = start
+        nf = self.unit_next.get(uid)
+        if nf is None:
+            nf = self.unit_next[uid] = {}
+        start = claim_slot(nf, t)
         if start > t:
             # Queueing delay behind earlier traffic on this unit — the
             # per-unit stall histogram the hang diagnostics report.
@@ -470,6 +672,31 @@ class MTCGRFExecutor:
         plans = [self._plan_for(cb, ridx) for ridx in range(n_replicas)]
         hop_total = 0
 
+        # Functional pass: evaluate every plan row across the whole
+        # thread vector at once (replica plans share functional content
+        # — only unit IDs and hop counts differ — so plans[0] stands in
+        # for all of them).  ``None`` means some construct needs the
+        # scalar walk (in-batch memory hazard, fault hooks, undefined
+        # operand, out-of-range address, ...); nothing has been
+        # committed at that point, so the scalar path reruns from
+        # untouched state and reproduces exact values and errors.
+        batch = None
+        if (self.faults is None and len(thread_ids) >= 4
+                and not scalar_exec_requested()):
+            batch = self._functional_batch(plans[0], thread_ids)
+        if batch is not None:
+            # Per-thread python address lists (one conversion per batch)
+            # and the compiled straight-line timing walks.
+            alists = {ri: a.tolist() for ri, a in batch["addrs"].items()}
+            mem_access = self.memsys.access_word
+            lvc_access = self.lvc.access
+            entries = self.config.ldst_reservation_entries
+            scu_n = self.config.scu_instances
+            nb = batch["next"]
+            for plan in plans:
+                if plan.timing_fn is None:
+                    plan.timing_fn = compile_timing(plan, entries, scu_n)
+
         for i, tid in enumerate(thread_ids):
             # The BBS hands out whole 64-thread batch packets to the
             # replicas' initiator CVUs (paper section 3.2), so replicas
@@ -486,13 +713,24 @@ class MTCGRFExecutor:
                     rep.inject_wait += bound - inject
                     inject = bound
             rep.inject_times.append(inject)
-            outcome, completion = self._run_thread(plan, rep, tid, inject)
+            if batch is None:
+                outcome, completion = self._run_thread(plan, rep, tid, inject)
+            else:
+                completion = plan.timing_fn(
+                    rep, mem_access, lvc_access, tid, inject, i, alists
+                )
+                outcome = ThreadOutcome(
+                    tid, nb[i] if isinstance(nb, list) else nb, completion
+                )
             outcome.replica = ridx
             hop_total += plan.total_hops
             rep.next_inject = inject + 1.0
             rep.window.append(completion)
             outcomes.append(outcome)
             end_time = max(end_time, completion)
+
+        if batch is not None:
+            self._commit_batch(batch, thread_ids)
 
         # Per-thread event counts are static per block, so the stats
         # are accumulated batch-wise (O(1) per vector, not O(nodes) per
@@ -520,6 +758,198 @@ class MTCGRFExecutor:
             )
             self._plans[key] = plan
         return plan
+
+    # ------------------------------------------------------------------
+    def _functional_batch(self, plan: ExecPlan, thread_ids: List[int]):
+        """Evaluate ``plan``'s rows over the whole thread vector.
+
+        Returns ``None`` when any row needs the per-thread scalar walk:
+        a stored address was loaded at an earlier-or-equal ``(thread,
+        row)`` position (:func:`stores_after_loads` — private
+        load-then-store patterns stay on the batch path), a live value is
+        fetched before any block stored it (the scalar walk raises the
+        diagnostic mid-vector, after earlier threads' side effects), an
+        address is invalid, or an operand is undefined.  No state is
+        mutated before returning, so the fallback reruns from scratch.
+
+        On success returns the per-row address arrays (consumed by
+        :meth:`_run_thread_timing` — cache timing depends on the exact
+        address stream), the per-thread successor blocks, and the
+        buffered memory / live-value writes for :meth:`_commit_batch`.
+        """
+        n = len(thread_ids)
+        tids = np.asarray(thread_ids, np.int64)
+        size = self.memory.size
+        data = self.memory.data
+        lv_values = self.lv_values
+        value: List[object] = [None] * plan.n_nodes
+        addrs_of: Dict[int, np.ndarray] = {}
+        load_parts = []  # (row_index, addrs)
+        store_parts = []  # (row_index, addrs, float64 values)
+        lv_overlay: Dict[int, object] = {}
+        next_blocks: object = None
+
+        def operand(src):
+            m, p = src
+            if m == SRC_CONST:
+                return p
+            if m == SRC_NODE:
+                return value[p]
+            return tids
+
+        try:
+            for ri, row in enumerate(plan.rows):
+                tag = row[0]
+                if tag == T_INIT:
+                    value[row[1]] = tids
+                elif tag == T_OP or tag == T_SCU:
+                    args = []
+                    for s in row[6]:
+                        v = operand(s)
+                        if v is None and s[0] == SRC_NODE:
+                            return None
+                        args.append(v)
+                    dt = row[7]
+                    if dt == 0:
+                        # VGIW stores predicate results uncoerced (the
+                        # scalar walk leaves dt==0 results raw).
+                        value[row[1]] = vec_eval_raw(row[8], tuple(args), n)
+                    else:
+                        value[row[1]] = vec_eval(row[8], tuple(args), dt, n)
+                elif tag == T_LOAD:
+                    a = operand(row[4])
+                    if a is None and row[4][0] == SRC_NODE:
+                        return None
+                    addrs = addr_batch(a, n, size)
+                    if addrs is None:
+                        return None
+                    load_parts.append((ri, addrs))
+                    addrs_of[ri] = addrs
+                    raw = data[addrs]
+                    value[row[1]] = f2i_array(raw) if row[5] else raw
+                elif tag == T_STORE:
+                    a = operand(row[4])
+                    if a is None and row[4][0] == SRC_NODE:
+                        return None
+                    addrs = addr_batch(a, n, size)
+                    if addrs is None:
+                        return None
+                    addrs_of[ri] = addrs
+                    v = operand(row[5])
+                    if v is None and row[5][0] == SRC_NODE:
+                        return None
+                    fvals = f64_batch(v, n)
+                    if fvals is None:
+                        return None
+                    store_parts.append((ri, addrs, fvals))
+                elif tag == T_LVLOAD:
+                    lv_id = row[4]
+                    if lv_id in lv_overlay:
+                        value[row[1]] = lv_overlay[lv_id]
+                    else:
+                        out = []
+                        for t in thread_ids:
+                            lv = lv_values.get((lv_id, t), _MISSING)
+                            if lv is _MISSING:
+                                return None
+                            out.append(lv)
+                        value[row[1]] = as_value_array(out, n)
+                elif tag == T_LVSTORE:
+                    v = operand(row[5])
+                    if v is None and row[5][0] == SRC_NODE:
+                        return None
+                    lv_overlay[row[4]] = v
+                elif tag == T_TERM:
+                    kind = plan.term_kind
+                    if kind is TermKind.RET:
+                        next_blocks = None
+                    elif kind is TermKind.JMP:
+                        next_blocks = plan.true_target
+                    else:
+                        c = operand(row[4])
+                        if c is None and row[4][0] == SRC_NODE:
+                            return None
+                        if isinstance(c, np.ndarray):
+                            if c.dtype.kind == "O":
+                                taken = [bool(x) for x in c.tolist()]
+                            else:
+                                taken = (c != 0).tolist()
+                            next_blocks = [
+                                plan.true_target if t else plan.false_target
+                                for t in taken
+                            ]
+                        else:
+                            next_blocks = (
+                                plan.true_target if c
+                                else plan.false_target
+                            )
+                # T_SJ passthrough forwards its operand unchanged.
+                elif row[5] is not None:
+                    v = operand(row[5])
+                    if v is None and row[5][0] == SRC_NODE:
+                        return None
+                    value[row[1]] = v
+        except (TypeError, ValueError, OverflowError, ZeroDivisionError):
+            # The scalar walk raises mid-vector with earlier threads'
+            # side effects applied; rerun it to reproduce that exactly.
+            return None
+
+        if store_parts and load_parts:
+            # One block = one plan: the row index is the per-thread
+            # program position, the batch slot is the thread-major rank.
+            pos = np.arange(n, dtype=np.int64)
+            if not stores_after_loads(
+                np.concatenate([a for _, a in load_parts]),
+                np.concatenate([hazard_key(pos, ri)
+                                for ri, _ in load_parts]),
+                np.concatenate([a for _, a, _ in store_parts]),
+                np.concatenate([hazard_key(pos, ri)
+                                for ri, _, _ in store_parts]),
+            ):
+                return None
+
+        return {
+            "addrs": addrs_of,
+            "next": next_blocks,
+            "stores": store_parts,
+            "lv": lv_overlay,
+        }
+
+    def _commit_batch(self, batch, thread_ids: List[int]) -> None:
+        """Apply a functional batch's buffered writes.
+
+        Memory stores commit in scalar order — thread-major, then row
+        order — via a stable lexsort with fancy assignment (documented
+        last-wins for duplicate indices), so repeated addresses resolve
+        exactly as the interleaved scalar walk would.  Live values are
+        materialised back to plain Python scalars (``tolist``) so the
+        ``lv_values`` dict stays type-identical for later blocks that
+        may run the scalar path.
+        """
+        parts = batch["stores"]
+        if len(parts) == 1:
+            # Ascending fancy assignment == ascending thread order.
+            _, addrs, fvals = parts[0]
+            self.memory.data[addrs] = fvals
+        elif parts:
+            n = len(thread_ids)
+            all_a = np.concatenate([p[1] for p in parts])
+            all_v = np.concatenate([p[2] for p in parts])
+            all_t = np.concatenate([np.arange(n)] * len(parts))
+            all_r = np.concatenate(
+                [np.full(n, p[0], np.int64) for p in parts]
+            )
+            order = np.lexsort((all_r, all_t))
+            self.memory.data[all_a[order]] = all_v[order]
+
+        lv_values = self.lv_values
+        for lv_id, vals in batch["lv"].items():
+            if isinstance(vals, np.ndarray):
+                for t, v in zip(thread_ids, vals.tolist()):
+                    lv_values[(lv_id, t)] = v
+            else:
+                for t in thread_ids:
+                    lv_values[(lv_id, t)] = vals
 
     # ------------------------------------------------------------------
     def _run_thread(
@@ -585,7 +1015,7 @@ class MTCGRFExecutor:
                 result = row[5](*args)
                 dt = row[7]
                 if dt == 1:
-                    result = int(result)
+                    result = coerce_i64(result)
                 elif dt == 2:
                     result = float(result)
                 if faults is not None:
@@ -601,7 +1031,7 @@ class MTCGRFExecutor:
                 retire_mem(uid, completion)
                 done[nid] = completion
                 raw = mem_read(addr)
-                value[nid] = int(raw) if row[5] else raw
+                value[nid] = coerce_i64(raw) if row[5] else raw
             elif tag == T_STORE:
                 m, p = row[4]
                 addr = int(p if m == 0 else value[p] if m == 1 else tid)
@@ -652,7 +1082,7 @@ class MTCGRFExecutor:
                 result = row[5](*args)
                 dt = row[7]
                 if dt == 1:
-                    result = int(result)
+                    result = coerce_i64(result)
                 elif dt == 2:
                     result = float(result)
                 if faults is not None:

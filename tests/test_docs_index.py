@@ -1,0 +1,86 @@
+"""Docs index integrity: the README links every doc, and no doc links
+to a file that does not exist.
+
+`tests/test_docs_snippets.py` keeps the *code* in the docs honest;
+this module keeps the *link graph* honest:
+
+* every `docs/*.md` file appears in the README's documentation index,
+  so a new page cannot be orphaned;
+* every relative link or backtick-quoted path reference in the README
+  and `docs/` resolves to a real file, so renames cannot leave dead
+  pointers behind.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+README = ROOT / "README.md"
+DOC_FILES = sorted((ROOT / "docs").glob("*.md"))
+
+#: ``[text](target)`` markdown links (URLs filtered out below)
+_MD_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)\)")
+#: `docs/foo.md`-style backtick path references
+_TICK_REF = re.compile(r"`((?:docs|examples|tests|benchmarks|src)/[^`]+?\.\w+)`")
+
+
+def test_docs_dir_is_nonempty():
+    assert len(DOC_FILES) >= 10, "docs/ unexpectedly small — bad glob?"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_readme_indexes_every_doc(doc):
+    """Each docs/ page is mentioned in the README (its docs index table
+    or prose), so no page is unreachable from the front door."""
+    readme = README.read_text()
+    assert f"docs/{doc.name}" in readme, (
+        f"docs/{doc.name} is not linked from README.md — add it to the "
+        "documentation index table"
+    )
+
+
+def _referenced_paths(path: Path):
+    text = path.read_text()
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        yield target
+    for match in _TICK_REF.finditer(text):
+        yield match.group(1)
+
+
+@pytest.mark.parametrize("source", [README] + DOC_FILES,
+                         ids=lambda p: str(p.relative_to(ROOT)))
+def test_no_dead_relative_links(source):
+    """Every relative link / path reference resolves against the repo
+    root or the file's own directory."""
+    dead = []
+    for ref in _referenced_paths(source):
+        if "*" in ref:
+            # Glob-style references ("tests/corpus/*.kir") are live as
+            # long as they match at least one file.
+            if not (list(ROOT.glob(ref)) or list(source.parent.glob(ref))):
+                dead.append(ref)
+            continue
+        candidates = (ROOT / ref, source.parent / ref)
+        if not any(c.exists() for c in candidates):
+            dead.append(ref)
+    assert not dead, (
+        f"{source.relative_to(ROOT)} references missing files: {dead}"
+    )
+
+
+def test_semantics_page_is_cross_linked():
+    """docs/semantics.md is the normative opcode reference — the pages
+    and module that lean on it must point at it."""
+    for referrer in (ROOT / "docs" / "api.md",
+                     ROOT / "docs" / "fuzzing.md",
+                     ROOT / "src" / "repro" / "ir" / "vecops.py"):
+        assert "docs/semantics.md" in referrer.read_text(), (
+            f"{referrer.relative_to(ROOT)} should link docs/semantics.md"
+        )
