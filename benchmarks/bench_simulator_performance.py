@@ -148,6 +148,18 @@ def bench_committed_baseline():
         )
         assert abs(latest["speedup_vectorized"] - vec_speedup) < 0.1
 
+    # The warm-stream floor: once a "resultcache" section is committed,
+    # its record must keep clearing its own floor (the PR 10 gate;
+    # benchmarks/bench_result_cache.py holds the full contract).
+    if "resultcache" in doc:
+        rc = doc["resultcache"]
+        warm_speedup = rc["record"]["cold_s"] / rc["record"]["warm_s"]
+        assert warm_speedup >= rc["floors"]["speedup_warm"], (
+            f"warm-stream speedup {warm_speedup:.2f}x below the "
+            f"{rc['floors']['speedup_warm']}x floor"
+        )
+        assert rc["record"]["golden"] == "byte-identical"
+
 
 def bench_golden_cycles_byte_identical(suite_runs, scale):
     """The current sweep reproduces the golden cycles bit-for-bit.

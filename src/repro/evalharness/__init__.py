@@ -14,8 +14,14 @@ from repro.evalharness.experiments import (
     table2_benchmarks,
 )
 from repro.evalharness.journal import JournalEntry, RunJournal
-from repro.evalharness.options import RunOptions
+from repro.evalharness.options import RunOptions, option_key
 from repro.evalharness.report import generate_report
+from repro.evalharness.resultcache import (
+    RESULT_CACHE_VERSION,
+    ResultCache,
+    ResultCacheEntry,
+    workload_digests,
+)
 from repro.evalharness.runner import (
     KernelRun,
     SuiteResult,
@@ -33,6 +39,9 @@ __all__ = [
     "ExperimentTable",
     "JournalEntry",
     "KernelRun",
+    "RESULT_CACHE_VERSION",
+    "ResultCache",
+    "ResultCacheEntry",
     "RunJournal",
     "RunOptions",
     "SuiteResult",
@@ -48,6 +57,7 @@ __all__ = [
     "fig9_energy_vs_fermi",
     "generate_report",
     "geomean",
+    "option_key",
     "run_kernel",
     "run_suite",
     "run_to_dict",
@@ -57,4 +67,5 @@ __all__ = [
     "table1_configuration",
     "table2_benchmarks",
     "trace_file_for",
+    "workload_digests",
 ]

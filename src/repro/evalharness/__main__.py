@@ -5,6 +5,8 @@ Usage::
     python -m repro.evalharness [--scale tiny|small|medium]
                                 [--kernels name,name,...]
                                 [--jobs N] [--cache-dir DIR]
+                                [--result-cache DIR]
+                                [--validate-cache-fraction F]
                                 [--out FILE] [--json FILE]
                                 [--trace FILE] [--metrics]
                                 [--inject kernel=kind[:seed[:rate]]]...
@@ -24,7 +26,13 @@ watchdog in every simulator.  See ``docs/resilience.md``.
 ``--jobs N`` fans the kernels out to ``N`` worker processes; the report
 is byte-identical to a serial sweep (results are reassembled in input
 order).  ``--cache-dir DIR`` adds a persistent compile-cache tier so
-repeat sweeps skip place & route entirely.  See ``docs/performance.md``.
+repeat sweeps skip place & route entirely.  ``--result-cache DIR`` goes
+one tier up: whole runs are memoised by content key (kernel IR hash,
+options fingerprint, input digest), so an unchanged re-sweep replays
+stored results instead of simulating — still byte-identical.
+``--validate-cache-fraction F`` re-executes a seeded fraction of hits
+and hard-fails on digest divergence.  See ``docs/performance.md`` and
+``docs/serving.md``.
 
 ``--trace FILE`` records a per-kernel cycle-level timeline and writes
 one Chrome-trace JSON per kernel — ``FILE`` is the base name, each
@@ -95,6 +103,16 @@ def main(argv=None) -> int:
                         help="persistent compile-cache directory (repeat "
                              "sweeps skip place & route; safe under "
                              "--jobs)")
+    parser.add_argument("--result-cache", default=None, metavar="DIR",
+                        help="content-addressed result-cache directory: "
+                             "re-runs of an unchanged kernel/options/input "
+                             "replay the stored run instead of simulating "
+                             "(byte-identical reports; safe under --jobs)")
+    parser.add_argument("--validate-cache-fraction", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="re-execute this (seeded, deterministic) "
+                             "fraction of result-cache hits and hard-fail "
+                             "on any digest divergence (default 0)")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="record a cycle-level timeline and write one "
                              "Chrome-trace JSON per kernel: FILE with "
@@ -170,6 +188,9 @@ def main(argv=None) -> int:
 
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if not 0.0 <= args.validate_cache_fraction <= 1.0:
+        parser.error("--validate-cache-fraction must be in [0, 1], got "
+                     f"{args.validate_cache_fraction}")
 
     metrics = Metrics() if args.metrics else None
 
@@ -177,6 +198,8 @@ def main(argv=None) -> int:
                          watchdog=watchdog, inject=inject,
                          metrics=metrics, jobs=args.jobs,
                          cache_dir=args.cache_dir, trace_path=args.trace,
+                         result_cache_dir=args.result_cache,
+                         validate_cache_fraction=args.validate_cache_fraction,
                          journal=journal, resume=args.resume is not None,
                          timeout=args.timeout,
                          checkpoint_every=args.checkpoint_every,

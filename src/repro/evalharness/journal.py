@@ -68,7 +68,10 @@ class JournalEntry:
     ``metrics`` are the *per-kernel* registries (the same objects a
     ``--jobs`` worker ships back to the parent), so a resumed sweep can
     merge them in input order and reproduce the aggregate streams;
-    ``cache_stats`` replays the kernel's compile-cache counters.
+    ``cache_stats`` replays the kernel's compile-cache counters and
+    ``result_cache_stats`` (when the sweep armed the result cache) its
+    result-cache counters — absent in journals written by older
+    revisions, where it reads as the class default ``None``.
     """
 
     run: Any = None
@@ -76,6 +79,7 @@ class JournalEntry:
     tracer: Any = None
     metrics: Any = None
     cache_stats: Any = None
+    result_cache_stats: Any = None
 
     @property
     def status(self) -> str:

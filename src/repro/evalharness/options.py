@@ -35,6 +35,9 @@ resilience                ``watchdog``, ``retry``, ``isolate``,
                           ``timeout`` (host-seconds wall-clock budget)
 observability             ``tracer``, ``metrics``, ``trace_path``
 compilation               ``cache``, ``cache_dir``
+result caching            ``result_cache``, ``result_cache_dir``,
+                          ``validate_cache_fraction``,
+                          ``validate_cache_seed``
 crash safety              ``journal``, ``resume``,
                           ``checkpoint_every``, ``checkpoint_dir``
 parallelism               ``jobs``
@@ -55,10 +58,69 @@ execution.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, fields, replace as _dc_replace
+from collections.abc import Mapping as _Mapping
+from dataclasses import dataclass, fields, is_dataclass, \
+    replace as _dc_replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-__all__ = ["RunOptions"]
+from repro.resilience.errors import OptionKeyError
+
+__all__ = ["RunOptions", "option_key"]
+
+
+def option_key(value: Any) -> str:
+    """Canonical, process-stable content key for one option value.
+
+    The fingerprint used to key object-valued fields via ``repr``; any
+    object without a stable value-``repr`` collapsed to
+    ``<... at 0x...>``, which differs per process *and per object* —
+    equal submissions then never batched in :mod:`repro.serve` and
+    would never hit the result cache.  This helper keys values
+    recursively by *content* instead:
+
+    * scalars (``None``/bool/int/float/str/bytes) — their ``repr``;
+    * objects with an explicit ``cache_key()`` hook — the hook's value
+      (the documented override for exotic config types);
+    * dataclass instances — class name plus every field keyed
+      recursively (declaration order, which is stable);
+    * mappings — sorted ``key: value`` pairs, both keyed recursively;
+    * sequences/sets — element-wise (sets sorted);
+    * anything else with a custom, address-free ``repr`` — that repr.
+
+    An object matching none of the above (default object ``repr``, or
+    a custom one still embedding ``at 0x...``) raises a typed
+    :class:`~repro.resilience.OptionKeyError` instead of silently
+    producing a process-unique key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    hook = getattr(value, "cache_key", None)
+    if callable(hook):
+        return f"{type(value).__qualname__}.cache_key({hook()!r})"
+    if is_dataclass(value) and not isinstance(value, type):
+        inner = ", ".join(
+            f"{f.name}={option_key(getattr(value, f.name))}"
+            for f in fields(value)
+        )
+        return f"{type(value).__qualname__}({inner})"
+    if isinstance(value, _Mapping):
+        items = sorted(
+            (option_key(k), option_key(v)) for k, v in value.items()
+        )
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(option_key(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(option_key(v) for v in value)) + "}"
+    rep = repr(value)
+    if type(value).__repr__ is object.__repr__ or " at 0x" in rep:
+        raise OptionKeyError(
+            f"cannot build a stable key for {type(value).__qualname__} "
+            f"(its repr embeds a memory address); make it a dataclass "
+            f"or give it a cache_key() method",
+            value_type=type(value).__qualname__,
+        )
+    return rep
 
 #: Legacy keywords ``run_kernel`` historically accepted (beyond scale).
 KERNEL_KWARGS: Tuple[str, ...] = (
@@ -102,6 +164,11 @@ class RunOptions:
     # -- compilation ---------------------------------------------------
     cache: Optional[Any] = None
     cache_dir: Optional[str] = None
+    # -- result caching ------------------------------------------------
+    result_cache: Optional[Any] = None
+    result_cache_dir: Optional[str] = None
+    validate_cache_fraction: float = 0.0
+    validate_cache_seed: int = 0
     # -- crash safety --------------------------------------------------
     journal: Optional[str] = None
     resume: bool = False
@@ -164,7 +231,8 @@ class RunOptions:
     #: fields that carry live, process-local objects; excluded from the
     #: fingerprint and forbidden in repro.serve submissions (the service
     #: owns its own registries and caches).
-    LIVE_FIELDS: Tuple[str, ...] = ("tracer", "metrics", "cache", "faults")
+    LIVE_FIELDS: Tuple[str, ...] = ("tracer", "metrics", "cache", "faults",
+                                    "result_cache")
 
     def fingerprint(self) -> str:
         """Stable content key over the pure (value-like) fields.
@@ -174,18 +242,31 @@ class RunOptions:
         architecture configs, watchdog/retry/fault campaign, and
         timeout.  Reporting/persistence knobs that cannot change a
         result (``trace_path``, ``journal``, ``resume``, ``jobs``,
-        ``cache_dir``, checkpoints) are excluded, as are the live-object
-        fields.  :mod:`repro.serve` batches requests whose kernel and
-        fingerprint match.
+        ``cache_dir``, ``result_cache_dir``, validation sampling,
+        checkpoints) are excluded, as are the live-object fields.
+        :mod:`repro.serve` batches requests whose kernel and
+        fingerprint match, and the result cache keys entries on it —
+        both require the key to be identical *across processes*, so
+        every field value is keyed canonically by content via
+        :func:`option_key` (an unkeyable object raises
+        :class:`~repro.resilience.OptionKeyError`).
         """
         skip = set(self.LIVE_FIELDS) | {
             "trace_path", "journal", "resume", "jobs", "cache_dir",
-            "checkpoint_every", "checkpoint_dir",
+            "checkpoint_every", "checkpoint_dir", "result_cache_dir",
+            "validate_cache_fraction", "validate_cache_seed",
         }
-        parts = [
-            f"{f.name}={getattr(self, f.name)!r}"
-            for f in fields(self) if f.name not in skip
-        ]
+        parts = []
+        for f in fields(self):
+            if f.name in skip:
+                continue
+            try:
+                parts.append(f"{f.name}={option_key(getattr(self, f.name))}")
+            except OptionKeyError as exc:
+                raise OptionKeyError(
+                    f"RunOptions.{f.name} cannot be fingerprinted: {exc}",
+                    field=f.name,
+                ) from exc
         return "|".join(parts)
 
     def summary(self) -> Dict[str, Any]:

@@ -59,6 +59,7 @@ import numpy as np
 from repro.compiler.cache import CompileCache, cached_optimize_kernel
 from repro.evalharness.journal import JournalEntry, RunJournal
 from repro.evalharness.options import KERNEL_KWARGS, SUITE_KWARGS, RunOptions
+from repro.evalharness.resultcache import ResultCache
 from repro.interp import interpret
 from repro.kernels.base import Workload
 from repro.kernels.registry import all_names, make_workload
@@ -79,7 +80,10 @@ from repro.resilience import (
     WorkerCrashError,
     wall_clock_limit,
 )
-from repro.resilience.errors import SimulationHangError
+from repro.resilience.errors import (
+    ResultCacheDivergenceError,
+    SimulationHangError,
+)
 from repro.resilience.errors import VerificationError  # re-export (was local)
 from repro.sgmf import SGMFCore, SGMFRunResult, SGMFUnmappableError
 from repro.simt import FermiRunResult, FermiSM
@@ -259,8 +263,40 @@ def run_kernel(
     cache = o.cache
     if cache is None and o.cache_dir is not None:
         cache = CompileCache(o.cache_dir)
+    rcache = _resolve_result_cache(o)
+    # The result cache only short-circuits *pure* single runs: a
+    # caller-supplied tracer/metrics registry expects to receive this
+    # run's events, a fault injector deliberately perturbs it, and
+    # checkpointing is about the execution, not the result.
+    if (rcache is not None and o.tracer is None and o.metrics is None
+            and o.faults is None and o.checkpoint_every is None):
+        key = ResultCache.key_for(name, o)
+        entry = rcache.get(key)
+        if entry is not None:
+            if rcache.should_validate(key, o.validate_cache_fraction,
+                                      o.validate_cache_seed):
+                with wall_clock_limit(o.timeout, sim="run_kernel",
+                                      kernel=name):
+                    fresh = _execute_kernel(name, o, cache)
+                rcache.validate(entry, fresh)
+            return entry.run
+        with wall_clock_limit(o.timeout, sim="run_kernel", kernel=name):
+            run = _execute_kernel(name, o, cache)
+        rcache.put(key, name, run)
+        return run
     with wall_clock_limit(o.timeout, sim="run_kernel", kernel=name):
         return _execute_kernel(name, o, cache)
+
+
+def _resolve_result_cache(o: RunOptions) -> Optional[ResultCache]:
+    """The run's :class:`ResultCache`, mirroring the compile-cache
+    resolution: an explicit ``result_cache`` wins, else a fresh
+    disk-backed one is built from ``result_cache_dir``, else none."""
+    if o.result_cache is not None:
+        return o.result_cache
+    if o.result_cache_dir is not None:
+        return ResultCache(o.result_cache_dir)
+    return None
 
 
 def _execute_kernel(name: str, o: RunOptions,
@@ -415,6 +451,7 @@ def _run_one(
     opts: RunOptions,
     spec: Optional[FaultSpec],
     cache: Optional[CompileCache],
+    rcache: Optional[ResultCache] = None,
 ):
     """One kernel of a sweep, with PR 1's retry/degraded-row machinery.
 
@@ -429,7 +466,37 @@ def _run_one(
     machinery as a watchdog hang.  Shared verbatim by the serial loop,
     the ``--jobs`` worker, and the :mod:`repro.serve` execution pool so
     the paths cannot drift.
+
+    ``rcache`` arms the result-cache short circuit: a hit returns the
+    stored run (its attached per-kernel tracer/metrics replay the
+    observability) without executing; a successful miss is stored.
+    Kernels under a fault campaign (``spec`` / ``opts.faults``) and
+    checkpointing runs bypass the cache — their executions are
+    deliberately not pure functions of the key.  Only healthy runs are
+    cached: degraded rows always re-execute.  A sampled fraction of
+    hits (``opts.validate_cache_fraction``) is re-executed and compared
+    against the cached digest; divergence raises
+    :class:`~repro.resilience.ResultCacheDivergenceError` *out of* the
+    retry machinery — it must abort the sweep, not degrade a row.
     """
+    if (rcache is not None and spec is None and opts.faults is None
+            and opts.checkpoint_every is None):
+        key = ResultCache.key_for(
+            name, opts, want_trace=opts.tracer is not None,
+            want_metrics=opts.metrics is not None,
+        )
+        entry = rcache.get(key)
+        if entry is not None:
+            if rcache.should_validate(key, opts.validate_cache_fraction,
+                                      opts.validate_cache_seed):
+                fresh_run, _ = _run_one(name, opts, spec, cache)
+                rcache.validate(entry, fresh_run)
+            return entry.run, None
+        run, failure = _run_one(name, opts, spec, cache)
+        if failure is None and run is not None:
+            rcache.put(key, name, run)
+        return run, failure
+
     retry = opts.retry
     if not opts.isolate:
         injector = FaultInjector(spec) if spec is not None else None
@@ -497,10 +564,18 @@ def _suite_worker(payload):
     tracer = Tracer() if want_trace else None
     metrics = Metrics() if want_metrics else None
     cache = CompileCache(opts.cache_dir)
+    rcache = (ResultCache(opts.result_cache_dir)
+              if opts.result_cache_dir is not None else None)
     run, failure = _run_one(
         name, opts.replace(tracer=tracer, metrics=metrics), spec, cache,
+        rcache,
     )
-    return name, run, failure, tracer, metrics, cache.stats()
+    # On a cache hit the stored run carries its own registries; ship
+    # those so the parent merges the replayed streams, not empty ones.
+    if run is not None:
+        tracer, metrics = run.trace, run.metrics
+    return (name, run, failure, tracer, metrics, cache.stats(),
+            rcache.stats() if rcache is not None else None)
 
 
 def trace_file_for(base: str, kernel_name: str) -> str:
@@ -554,9 +629,13 @@ def _run_jobs(todo, jobs, isolate, retry, payload_for, record):
                 name = in_flight.pop(future)
                 try:
                     (_, run, failure, wtracer, wmetrics,
-                     wstats) = future.result()
+                     wstats, wrstats) = future.result()
                 except BrokenProcessPool:
                     crashed.append(name)
+                except ResultCacheDivergenceError:
+                    # Cache divergence is never a degraded row: every
+                    # cached answer is suspect, so the sweep must die.
+                    raise
                 except Exception as exc:  # noqa: BLE001 — worker failed
                     if not isolate:
                         raise
@@ -566,7 +645,8 @@ def _run_jobs(todo, jobs, isolate, retry, payload_for, record):
                 else:
                     finish(name, JournalEntry(
                         run=run, failure=failure, tracer=wtracer,
-                        metrics=wmetrics, cache_stats=wstats))
+                        metrics=wmetrics, cache_stats=wstats,
+                        result_cache_stats=wrstats))
             if not crashed:
                 continue
             # A worker died: the executor is broken, every future it
@@ -654,6 +734,23 @@ def run_suite(
         ``cache_dir=`` to add the persistent on-disk tier (shared by
         ``--jobs`` workers).  Hit/miss counters land in ``metrics``
         under the ``compile/`` scope.
+    result_cache / result_cache_dir:
+        Whole-run memoisation (``--result-cache DIR``; see
+        :mod:`repro.evalharness.resultcache`).  A kernel whose content
+        key — kernel IR hash, options fingerprint, input digest — was
+        seen before returns the stored :class:`KernelRun` without
+        executing; its per-kernel tracer/metrics replay exactly like a
+        journal resume, so reports stay byte-identical to a cold sweep
+        across ``--jobs`` too.  Kernels under a fault campaign bypass
+        the cache, and only healthy runs are stored.  Counters land in
+        ``metrics`` under the ``resultcache/`` scope.
+    validate_cache_fraction / validate_cache_seed:
+        Seeded trust-but-verify sampling for cache hits
+        (``--validate-cache-fraction``): the selected fraction is
+        re-executed and compared against the cached digest; any
+        divergence raises
+        :class:`~repro.resilience.ResultCacheDivergenceError` and
+        aborts the sweep (never a degraded row).
     trace_path:
         Base path for per-kernel Chrome-trace files.  Each kernel gets
         its own tracer and its own file (``trace_file_for``:
@@ -689,6 +786,7 @@ def run_suite(
     cache = o.cache
     if cache is None:
         cache = CompileCache(o.cache_dir)
+    rcache = _resolve_result_cache(o)
     if o.resume and o.journal is None:
         raise ValueError("run_suite(resume=True) requires journal=PATH")
 
@@ -709,9 +807,10 @@ def run_suite(
         want_trace = o.trace_path is not None or tracer is not None
         want_metrics = metrics is not None
         # The payload options cross a process boundary: strip the live
-        # parent-side objects (the worker builds its own registries).
+        # parent-side objects (the worker builds its own registries;
+        # workers share the result cache through its disk tier).
         wire_opts = o.replace(tracer=None, metrics=None, cache=None,
-                              faults=None)
+                              faults=None, result_cache=None)
 
         def payload_for(name: str):
             return (name, wire_opts, inject.get(name),
@@ -721,10 +820,12 @@ def run_suite(
                           record)
     else:
         fresh = {}
-        # With a journal armed the serial path mirrors the jobs-mode
-        # contract: per-kernel registries, merged in name order at the
-        # end, so a resume replays identical aggregate streams.
-        per_kernel_obs = jnl is not None
+        # With a journal or a result cache armed the serial path
+        # mirrors the jobs-mode contract: per-kernel registries, merged
+        # in name order at the end, so a resume (or a cache hit, which
+        # replays the stored registries) reproduces identical
+        # aggregate streams.
+        per_kernel_obs = jnl is not None or rcache is not None
         for name in todo:
             if per_kernel_obs:
                 ktracer = (Tracer() if (o.trace_path is not None
@@ -735,8 +836,13 @@ def run_suite(
                 kmetrics = metrics
             run, failure = _run_one(
                 name, o.replace(tracer=ktracer, metrics=kmetrics),
-                inject.get(name), cache,
+                inject.get(name), cache, rcache,
             )
+            # A cache hit's run carries the registries recorded at
+            # store time; on a miss run.trace/run.metrics *are*
+            # ktracer/kmetrics, so this is the identity there.
+            if run is not None:
+                ktracer, kmetrics = run.trace, run.metrics
             entry = JournalEntry(run=run, failure=failure, tracer=ktracer,
                                  metrics=kmetrics)
             fresh[name] = entry
@@ -767,6 +873,12 @@ def run_suite(
                 tracer.merge(entry.tracer)
         if entry.cache_stats is not None:
             cache.merge_stats(entry.cache_stats)
+        if rcache is not None:
+            # ``getattr``: journals written before the result cache
+            # existed unpickle without the field.
+            rcache.merge_stats(getattr(entry, "result_cache_stats", None))
 
     cache.record_metrics(metrics)
+    if rcache is not None:
+        rcache.record_metrics(metrics)
     return SuiteResult(runs, failures)

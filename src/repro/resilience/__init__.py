@@ -27,7 +27,10 @@ from repro.resilience.errors import (
     CompileError,
     FaultInjectedError,
     MappingError,
+    OptionKeyError,
     ReproError,
+    ResultCacheDivergenceError,
+    ResultCacheError,
     SimulationError,
     SimulationHangError,
     VerificationError,
@@ -62,7 +65,10 @@ __all__ = [
     "ForwardProgressWatchdog",
     "KernelFailure",
     "MappingError",
+    "OptionKeyError",
     "ReproError",
+    "ResultCacheDivergenceError",
+    "ResultCacheError",
     "RetryPolicy",
     "SimulationError",
     "SimulationHangError",

@@ -120,6 +120,36 @@ class VerificationError(ReproError):
     """A simulator's final memory diverged from the interpreter's."""
 
 
+class OptionKeyError(ReproError):
+    """An execution-option value cannot be keyed canonically.
+
+    Raised by :meth:`repro.evalharness.RunOptions.fingerprint` when an
+    option field holds an object with no stable value representation
+    (no dataclass fields, no ``cache_key()`` hook, and a default
+    ``repr`` that embeds a memory address).  Such a value would make
+    every fingerprint process-unique, silently defeating request
+    batching in :mod:`repro.serve` and the result cache — so it is an
+    error, never an address embedded in the key.
+    """
+
+
+class ResultCacheError(ReproError):
+    """The result cache itself failed (not the cached execution)."""
+
+
+class ResultCacheDivergenceError(ResultCacheError):
+    """Validation re-execution diverged from a cached result.
+
+    Raised by the seeded validation mode
+    (``validate_cache_fraction``): a sampled cache hit was re-executed
+    and its image/cycle digest did not match the cached entry's.  This
+    is a hard failure — it means either the cache was corrupted past
+    what the tolerant loader can detect, or execution is not
+    deterministic over the cache key, and every cached answer is
+    suspect.
+    """
+
+
 class FaultInjectedError(SimulationError):
     """An injected ``abort`` fault deliberately killed the run (used to
     prove the harness isolates hard crashes)."""

@@ -10,6 +10,8 @@ Usage::
                           [--concurrency N] [--rate R]
                           [--queue-limit N] [--deadline SECONDS]
                           [--timeout SECONDS] [--cache-dir DIR]
+                          [--result-cache DIR]
+                          [--validate-cache-fraction F]
                           [--trace FILE] [--report FILE]
                           [--golden-out FILE]
 
@@ -17,6 +19,13 @@ Runs an in-process :class:`~repro.serve.ExecutionService` (a pool of
 ``--workers`` persistent worker processes), submits ``--requests``
 seeded requests in the chosen loop mode, and prints a JSON
 throughput/latency report (service stats + per-component p50/p99).
+
+``--result-cache DIR`` arms the content-addressed result cache:
+repeat submissions of an already-served (kernel, options, input) are
+answered at admission with status ``"cached"`` — same digest, no queue
+time, no execution.  ``--validate-cache-fraction F`` re-executes a
+seeded fraction of those hits and reports digest divergence as a typed
+degraded response.  See ``docs/serving.md``.
 
 ``--golden-out FILE`` additionally writes the per-request identity rows
 (``index, kernel, status, digest`` — timing-independent and
@@ -80,6 +89,15 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persistent compile-cache tier shared by "
                              "the workers")
+    parser.add_argument("--result-cache", default=None, metavar="DIR",
+                        help="content-addressed result-cache directory: "
+                             "repeat submissions are answered at "
+                             "admission with status 'cached'")
+    parser.add_argument("--validate-cache-fraction", type=float,
+                        default=0.0, metavar="FRACTION",
+                        help="re-execute this (seeded, deterministic) "
+                             "fraction of result-cache hits and report "
+                             "digest divergence as degraded (default 0)")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write the per-request Chrome-trace spans "
                              "to FILE (Perfetto / chrome://tracing)")
@@ -91,6 +109,10 @@ def main(argv=None) -> int:
                              "rows (kernel/status/digest) for CI "
                              "comparison")
     args = parser.parse_args(argv)
+
+    if not 0.0 <= args.validate_cache_fraction <= 1.0:
+        parser.error("--validate-cache-fraction must be in [0, 1], got "
+                     f"{args.validate_cache_fraction}")
 
     if args.kernels:
         kernels = [n.strip() for n in args.kernels.split(",") if n.strip()]
@@ -108,10 +130,13 @@ def main(argv=None) -> int:
                       seed=args.seed, mode=args.mode,
                       concurrency=args.concurrency, rate=args.rate,
                       deadline_s=args.deadline)
-    service = ExecutionService(workers=args.workers, policy=args.policy,
-                               queue_limit=args.queue_limit,
-                               cache_dir=args.cache_dir, tracer=tracer,
-                               metrics=metrics)
+    service = ExecutionService(
+        workers=args.workers, policy=args.policy,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir, tracer=tracer,
+        metrics=metrics,
+        result_cache_dir=args.result_cache,
+        validate_cache_fraction=args.validate_cache_fraction)
     with service:
         report = loadgen.run(service)
 

@@ -45,7 +45,8 @@ __all__ = [
 ]
 
 #: Every terminal state a submission can reach.
-RESPONSE_STATUSES: Tuple[str, ...] = ("ok", "degraded", "rejected", "deadline")
+RESPONSE_STATUSES: Tuple[str, ...] = ("ok", "cached", "degraded",
+                                      "rejected", "deadline")
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,13 @@ class RunResponse:
     ``"ok"``
         The kernel ran and verified; ``digest`` / ``summary`` (and
         ``run`` when requested) describe the result.
+    ``"cached"``
+        The result cache answered at admission — nothing was queued or
+        executed.  ``digest`` / ``summary`` / ``run`` carry the stored
+        result exactly as an ``"ok"`` response would (the digest equals
+        the one a fresh execution produces); ``batch_id`` is ``None``
+        and the timing split collapses to the (sub-millisecond)
+        admission latency.
     ``"degraded"``
         The kernel was executed but failed (verification, hang,
         exhausted worker-crash budget...); ``error_type`` / ``error``
@@ -128,7 +136,9 @@ class RunResponse:
 
     @property
     def ok(self) -> bool:
-        return self.status == "ok"
+        """True when the response carries a valid result (a fresh
+        ``"ok"`` execution or a ``"cached"`` replay of one)."""
+        return self.status in ("ok", "cached")
 
     def identity(self) -> Dict[str, Any]:
         """The timing-independent identity row (what CI goldens hold)."""

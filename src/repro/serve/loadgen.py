@@ -57,9 +57,13 @@ class LoadReport:
         return counts
 
     def latency(self, component: str = "total_s") -> LatencyStats:
+        # Cache hits never queued or executed, so their (zero) component
+        # splits would skew everything except the end-to-end total.
+        statuses = (("ok", "cached", "degraded") if component == "total_s"
+                    else ("ok", "degraded"))
         stats = LatencyStats()
         for resp in self.responses:
-            if resp.status in ("ok", "degraded"):
+            if resp.status in statuses:
                 stats.observe(getattr(resp, component))
         return stats
 

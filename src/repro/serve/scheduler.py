@@ -57,6 +57,11 @@ class QueueEntry:
     deadline_mono: Optional[float]  # absolute monotonic expiry, or None
     crash_budget: int  # remaining worker-crash requeues
     seq: int = 0  # admission order (set by the scheduler)
+    cache_key: Optional[str] = None  # result-cache key (cache armed)
+    expected_digest: Optional[str] = None  # cache-validation expectation
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_mono is not None and now > self.deadline_mono
 
 
 @dataclass
@@ -126,6 +131,41 @@ class BatchScheduler:
     def depth(self) -> int:
         with self._lock:
             return len(self._queue)
+
+    # -- lazy deadline shedding -----------------------------------------
+    def pop_expired(self, now: float) -> List[QueueEntry]:
+        """Remove and return every queued entry whose deadline has
+        expired.
+
+        The dispatcher calls this at the top of every loop iteration,
+        so under a saturated pool an expired request is shed (and its
+        ``"deadline"`` response lands) within one dispatcher beat of
+        expiry instead of sitting in the queue until its compatibility
+        group happens to be pulled."""
+        with self._lock:
+            expired = [e for e in self._queue if e.expired(now)]
+            if expired:
+                self._queue = [e for e in self._queue if not e.expired(now)]
+            return expired
+
+    def take_if_expired(self, request_id: int, now: float):
+        """Lazy shed at the waiter: ``(entry, deadline_mono)``.
+
+        If the request is still queued and its deadline has expired,
+        the entry is removed and returned (the service finishes it as
+        ``"deadline"`` immediately — the caller is observing it *now*).
+        Otherwise returns ``(None, deadline)`` where ``deadline`` is
+        the queued entry's absolute monotonic expiry (``None`` when the
+        request is deadline-free, already dispatched, or finished) so
+        the waiter can bound its sleep and re-check on time."""
+        with self._lock:
+            for i, entry in enumerate(self._queue):
+                if entry.ticket.request_id == request_id:
+                    if entry.expired(now):
+                        del self._queue[i]
+                        return entry, None
+                    return None, entry.deadline_mono
+            return None, None
 
     # -- learning (SJF) -------------------------------------------------
     def observe(self, key: Tuple[str, str], execute_s: float) -> None:

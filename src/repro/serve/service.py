@@ -41,15 +41,17 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional
 
 from repro.compiler.cache import CompileCache, cached_optimize_kernel
 from repro.evalharness.options import RunOptions
+from repro.evalharness.resultcache import ResultCache
 from repro.evalharness.runner import _maybe_kill_for_test, _run_one
 from repro.kernels.registry import all_names, make_workload
-from repro.resilience import RetryPolicy, WorkerCrashError
+from repro.resilience import OptionKeyError, RetryPolicy, WorkerCrashError
 from repro.serve.api import (
     LatencyStats,
     RunResponse,
@@ -153,10 +155,34 @@ class ExecutionService:
     cache_dir:
         Optional persistent compile-cache tier shared by the workers
         (atomic disk writes — concurrent workers are safe).
+    result_cache / result_cache_dir:
+        Arm the content-addressed result cache
+        (:class:`repro.evalharness.ResultCache`): a request whose
+        content key — kernel IR hash, options fingerprint, input
+        digest — was answered before is completed *at admission* with
+        status ``"cached"``, never touching the queue or the worker
+        pool; every batch completion populates the cache.  Pass a live
+        :class:`ResultCache` to share one across services, or
+        ``result_cache_dir`` for a fresh disk-backed one.
+    validate_cache_fraction / validate_cache_seed:
+        Trust-but-verify sampling: the selected (seeded,
+        deterministic) fraction of cache hits is *not* short-circuited
+        — it executes normally and the fresh digest is compared
+        against the cached one.  A match counts as a validation; a
+        mismatch degrades the response with
+        ``ResultCacheDivergenceError`` and bumps the ``divergences``
+        counter (the service's typed-response contract holds even for
+        this hard failure).
+    retention_limit:
+        Bound on responses held for pickup.  :meth:`wait` *consumes*
+        its response; a response never picked up is evicted LRU-first
+        past this bound (``evicted`` counter), after which its ticket
+        is unknown.  :meth:`result` stays a non-consuming peek.
     tracer / metrics:
         Optional :class:`repro.obs.Tracer` / :class:`repro.obs.Metrics`;
-        the service records into the ``serve/`` metric scope and one
-        trace span per request.
+        the service records into the ``serve/`` metric scope (plus
+        ``resultcache/`` when the cache is armed) and one trace span
+        per request.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`::
 
@@ -168,22 +194,39 @@ class ExecutionService:
 
     def __init__(self, workers: int = 2, policy: str = "fifo",
                  queue_limit: int = 64, crash_budget: int = 2,
-                 cache_dir: Optional[str] = None, tracer=None,
+                 cache_dir: Optional[str] = None,
+                 result_cache: Optional[ResultCache] = None,
+                 result_cache_dir: Optional[str] = None,
+                 validate_cache_fraction: float = 0.0,
+                 validate_cache_seed: int = 0,
+                 retention_limit: int = 1024, tracer=None,
                  metrics=None):
         self.workers = max(1, int(workers))
         self.scheduler = BatchScheduler(policy=policy,
                                         queue_limit=queue_limit)
         self.crash_budget = max(1, int(crash_budget))
         self.cache_dir = cache_dir
+        self.result_cache = result_cache
+        if self.result_cache is None and result_cache_dir is not None:
+            self.result_cache = ResultCache(result_cache_dir)
+        self.validate_cache_fraction = float(validate_cache_fraction)
+        self.validate_cache_seed = int(validate_cache_seed)
+        self.retention_limit = max(1, int(retention_limit))
         self.tracer = tracer
         self.metrics = metrics
         self._scope = metrics.scope("serve") if metrics is not None else None
+        self._rscope = (metrics.scope("resultcache")
+                        if metrics is not None
+                        and self.result_cache is not None else None)
         self._known = frozenset(all_names(include_extras=True))
 
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
-        self._responses: Dict[int, RunResponse] = {}
+        #: landed responses awaiting pickup, oldest first (bounded by
+        #: ``retention_limit``; wait() pops, result() peeks)
+        self._responses: "OrderedDict[int, RunResponse]" = OrderedDict()
         self._events: Dict[int, threading.Event] = {}
+        self._evicted = 0
 
         self._running = False
         self._stopping = threading.Event()
@@ -199,10 +242,11 @@ class ExecutionService:
             "queue_s": LatencyStats(),
             "compile_s": LatencyStats(),
             "execute_s": LatencyStats(),
+            "cached_s": LatencyStats(),
         }
         self._counts: Dict[str, int] = {
-            "submitted": 0, "ok": 0, "degraded": 0, "rejected": 0,
-            "deadline": 0,
+            "submitted": 0, "ok": 0, "cached": 0, "degraded": 0,
+            "rejected": 0, "deadline": 0,
         }
         self._batch_sizes: List[int] = []
         self._worker_crashes = 0
@@ -295,14 +339,47 @@ class ExecutionService:
                        if request.options.cache_dir is None
                        else request.options.cache_dir),
         )
+        try:
+            fingerprint = opts.fingerprint()
+        except OptionKeyError as exc:
+            # An unkeyable config can neither batch nor cache; keep the
+            # typed-response contract instead of raising at the caller.
+            return reject(str(exc), "OptionKeyError")
+
+        cache_key: Optional[str] = None
+        expected_digest: Optional[str] = None
+        admit_mono = time.monotonic()
+        if self.result_cache is not None:
+            cache_key = ResultCache.key_for(request.kernel, opts)
+            hit = self.result_cache.get(cache_key)
+            if self._rscope is not None:
+                self._rscope.inc("hits" if hit is not None else "misses")
+            if hit is not None:
+                if self.result_cache.should_validate(
+                        cache_key, self.validate_cache_fraction,
+                        self.validate_cache_seed):
+                    # Trust-but-verify: this hit executes normally; the
+                    # fresh digest is checked against this expectation
+                    # when its batch completes.
+                    expected_digest = hit.digest
+                else:
+                    run = hit.run
+                    self._finish(None, RunResponse(
+                        request_id=rid, kernel=request.kernel,
+                        status="cached", client=request.client,
+                        digest=hit.digest, summary=run_summary(run),
+                        run=run if request.want_run else None,
+                        total_s=time.monotonic() - admit_mono))
+                    return ticket
         now = time.monotonic()
         entry = QueueEntry(
             request=request, ticket=ticket,
-            key=(request.kernel, opts.fingerprint()), opts=opts,
+            key=(request.kernel, fingerprint), opts=opts,
             enqueued_mono=now,
             deadline_mono=(None if request.deadline_s is None
                            else now + request.deadline_s),
             crash_budget=self.crash_budget,
+            cache_key=cache_key, expected_digest=expected_digest,
         )
         if not self.scheduler.offer(entry):
             return reject(
@@ -314,18 +391,50 @@ class ExecutionService:
 
     def wait(self, ticket: Ticket,
              timeout: Optional[float] = None) -> Optional[RunResponse]:
-        """Block until ``ticket``'s response lands; ``None`` on timeout."""
+        """Block until ``ticket``'s response lands, then *consume* it;
+        ``None`` on timeout.
+
+        Pickup evicts the response from the retention map — each ticket
+        is waited at most once (a second ``wait`` raises ``KeyError``,
+        as does a ticket whose un-picked-up response aged past
+        ``retention_limit``).  If the request is still queued with an
+        expired ``deadline_s``, it is shed *here*: the caller observing
+        the ticket is exactly when the ``"deadline"`` status must fire,
+        not whenever the dispatcher would next have pulled its batch.
+        """
+        rid = ticket.request_id
         with self._lock:
-            event = self._events.get(ticket.request_id)
+            event = self._events.get(rid)
         if event is None:
-            raise KeyError(f"unknown ticket {ticket.request_id}")
-        if not event.wait(timeout):
-            return None
-        with self._lock:
-            return self._responses[ticket.request_id]
+            raise KeyError(
+                f"unknown ticket {rid} (never submitted, already "
+                f"picked up, or evicted past the retention limit)")
+        budget_end = (None if timeout is None
+                      else time.monotonic() + timeout)
+        while True:
+            now = time.monotonic()
+            expired, queued_deadline = \
+                self.scheduler.take_if_expired(rid, now)
+            if expired is not None:
+                self._finish_deadline(expired, now, batch_id=None)
+            wait_s = (None if budget_end is None
+                      else max(0.0, budget_end - now))
+            if queued_deadline is not None:
+                # Sleep only to the request's own expiry, so the lazy
+                # shed above re-runs right when it becomes due.
+                until = max(0.0, queued_deadline - now) + 0.005
+                wait_s = until if wait_s is None else min(wait_s, until)
+            if event.wait(wait_s):
+                with self._lock:
+                    response = self._responses.pop(rid, None)
+                    self._events.pop(rid, None)
+                return response
+            if budget_end is not None and time.monotonic() >= budget_end:
+                return None
 
     def result(self, ticket: Ticket) -> Optional[RunResponse]:
-        """The response if it already landed, else ``None``."""
+        """Non-consuming peek: the response if it landed and has not
+        been picked up by :meth:`wait` (or evicted), else ``None``."""
         with self._lock:
             return self._responses.get(ticket.request_id)
 
@@ -333,6 +442,12 @@ class ExecutionService:
     def _dispatch_loop(self) -> None:
         in_flight: Dict[Any, Batch] = {}
         while True:
+            # Lazy deadline sweep: shed *every* expired queued request
+            # each beat, not just the ones whose batch is pulled — an
+            # expired request must never consume dispatch capacity.
+            now = time.monotonic()
+            for entry in self.scheduler.pop_expired(now):
+                self._finish_deadline(entry, now, batch_id=None)
             while len(in_flight) < self.workers:
                 timeout = 0.0 if in_flight or self._stopping.is_set() \
                     else 0.1
@@ -367,21 +482,26 @@ class ExecutionService:
                 in_flight.clear()
                 self._recover(crashed)
 
+    def _finish_deadline(self, entry: QueueEntry, now: float,
+                         batch_id: Optional[int]) -> None:
+        """Complete one still-queued entry as ``"deadline"``."""
+        waited = now - entry.enqueued_mono
+        self._finish(entry, RunResponse(
+            request_id=entry.ticket.request_id,
+            kernel=entry.request.kernel, status="deadline",
+            client=entry.request.client,
+            error=(f"deadline of {entry.request.deadline_s:.3f}s "
+                   f"expired after {waited:.3f}s in queue"),
+            error_type="DeadlineExceeded",
+            queue_s=waited, total_s=waited,
+            batch_id=batch_id))
+
     def _shed_expired(self, batch: Batch) -> None:
         now = time.monotonic()
         kept: List[QueueEntry] = []
         for entry in batch.entries:
-            if entry.deadline_mono is not None and now > entry.deadline_mono:
-                waited = now - entry.enqueued_mono
-                self._finish(entry, RunResponse(
-                    request_id=entry.ticket.request_id,
-                    kernel=entry.request.kernel, status="deadline",
-                    client=entry.request.client,
-                    error=(f"deadline of {entry.request.deadline_s:.3f}s "
-                           f"expired after {waited:.3f}s in queue"),
-                    error_type="DeadlineExceeded",
-                    queue_s=waited, total_s=waited,
-                    batch_id=batch.batch_id))
+            if entry.expired(now):
+                self._finish_deadline(entry, now, batch.batch_id)
             else:
                 kept.append(entry)
         batch.entries = kept
@@ -409,9 +529,42 @@ class ExecutionService:
         self.scheduler.observe(batch.key, execute_s)
         for k, v in cache_delta.items():
             self.cache_stats[k] = self.cache_stats.get(k, 0) + v
+        # One healthy execution populates the result cache for every
+        # entry in the batch (they share one content key, so one store
+        # answers all future equals at admission).
+        stored_key = batch.entries[0].cache_key if batch.entries else None
+        if (self.result_cache is not None and failure is None
+                and run is not None and stored_key is not None):
+            self.result_cache.put(stored_key, batch.kernel, run)
+            if self._rscope is not None:
+                self._rscope.inc("stores")
+                self._rscope.gauge("entries", len(self.result_cache))
         for entry in batch.entries:
             request: SubmitRequest = entry.request
-            if failure is None:
+            if failure is None and entry.expected_digest is not None \
+                    and digest != entry.expected_digest:
+                # Trust-but-verify tripped: the fresh execution does
+                # not match what the cache would have answered.  Typed
+                # degraded response (the service never raises), loud
+                # counters — every cached answer is now suspect.
+                self.result_cache.validations += 1
+                self.result_cache.divergences += 1
+                if self._rscope is not None:
+                    self._rscope.inc("validations")
+                    self._rscope.inc("divergences")
+                response = RunResponse(
+                    request_id=entry.ticket.request_id,
+                    kernel=request.kernel, status="degraded",
+                    client=request.client,
+                    error=(f"cached digest {entry.expected_digest[:12]} "
+                           f"diverges from fresh execution "
+                           f"{(digest or 'none')[:12]}"),
+                    error_type="ResultCacheDivergenceError")
+            elif failure is None:
+                if entry.expected_digest is not None:
+                    self.result_cache.validations += 1
+                    if self._rscope is not None:
+                        self._rscope.inc("validations")
                 response = RunResponse(
                     request_id=entry.ticket.request_id,
                     kernel=request.kernel, status="ok",
@@ -488,6 +641,10 @@ class ExecutionService:
             self.latency["queue_s"].observe(response.queue_s)
             self.latency["compile_s"].observe(response.compile_s)
             self.latency["execute_s"].observe(response.execute_s)
+        elif response.status == "cached":
+            # Cache hits get their own latency series: admission-time
+            # answers would otherwise drown the execution percentiles.
+            self.latency["cached_s"].observe(response.total_s)
         if self._scope is not None:
             self._scope.inc(f"requests_{response.status}")
             self._scope.observe("total_s", response.total_s)
@@ -495,6 +652,8 @@ class ExecutionService:
                 self._scope.observe("queue_s", response.queue_s)
                 self._scope.observe("compile_s", response.compile_s)
                 self._scope.observe("execute_s", response.execute_s)
+            elif response.status == "cached":
+                self._scope.observe("cached_s", response.total_s)
         if self.tracer is not None and entry is not None:
             # One span per request on the "serve" lane, in µs since
             # service start (the native Chrome-trace time base).
@@ -504,9 +663,22 @@ class ExecutionService:
                 start_us, response.total_s * 1e6, pid="serve",
                 tid=0, status=response.status,
                 batch=response.batch_id, client=response.client)
+        evicted = 0
         with self._lock:
             self._responses[response.request_id] = response
             event = self._events.get(response.request_id)
+            # Bounded retention: responses nobody picks up age out
+            # LRU-first (landed order) once past the cap, events too —
+            # a long-lived service no longer leaks one response per
+            # request forever.
+            while len(self._responses) > self.retention_limit:
+                old_rid, _ = self._responses.popitem(last=False)
+                self._events.pop(old_rid, None)
+                evicted += 1
+        if evicted:
+            self._evicted += evicted
+            if self._scope is not None:
+                self._scope.inc("responses_evicted", evicted)
         if event is not None:
             event.set()
 
@@ -516,8 +688,9 @@ class ExecutionService:
         sizes = self._batch_sizes
         uptime = (time.monotonic() - self._t0_mono) if self._t0_mono else 0.0
         completed = sum(self._counts.get(s, 0)
-                        for s in ("ok", "degraded", "rejected", "deadline"))
-        return {
+                        for s in ("ok", "cached", "degraded",
+                                  "rejected", "deadline"))
+        report = {
             "workers": self.workers,
             "policy": self.scheduler.policy,
             "uptime_s": uptime,
@@ -535,6 +708,14 @@ class ExecutionService:
             },
             "latency": {name: stats.summary()
                         for name, stats in self.latency.items()},
+            "retention": {
+                "limit": self.retention_limit,
+                "held": len(self._responses),
+                "evicted": self._evicted,
+            },
             "worker_crashes": self._worker_crashes,
             "compile_cache": dict(self.cache_stats),
         }
+        if self.result_cache is not None:
+            report["result_cache"] = self.result_cache.stats()
+        return report

@@ -204,3 +204,59 @@ def test_serve_metrics_scope_and_trace_spans():
     assert stats["requests"]["ok"] == 1
     for component in ("queue_s", "compile_s", "execute_s", "total_s"):
         assert stats["latency"][component]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Bounded retention + lazy deadline shedding
+# ----------------------------------------------------------------------
+def test_wait_consumes_response_and_result_peeks():
+    """``wait`` picks the response up exactly once; ``result`` is a
+    non-consuming peek before and returns ``None`` after."""
+    with ExecutionService(workers=1) as svc:
+        ticket = svc.submit(SubmitRequest("nn/euclid", TINY))
+        resp = svc.wait(ticket, timeout=120)
+        assert resp.status == "ok"
+        assert svc.result(ticket) is None  # consumed by the wait
+        with pytest.raises(KeyError, match="picked up"):
+            svc.wait(ticket, timeout=1)
+
+
+def test_unclaimed_responses_evict_past_retention_limit():
+    """Responses nobody waits for age out LRU-first at the retention
+    cap instead of accumulating forever."""
+    import time
+
+    with ExecutionService(workers=1, retention_limit=2) as svc:
+        tickets = [svc.submit(SubmitRequest("nn/euclid", TINY))
+                   for _ in range(5)]
+        deadline = time.monotonic() + 120
+        while (svc.stats()["requests"]["ok"] < 5
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        stats = svc.stats()
+        assert stats["retention"] == {"limit": 2, "held": 2,
+                                      "evicted": 3}
+        assert svc.result(tickets[0]) is None  # evicted, not held
+        assert svc.result(tickets[-1]).status == "ok"
+        with pytest.raises(KeyError, match="evicted"):
+            svc.wait(tickets[0], timeout=1)
+
+
+def test_dispatcher_sheds_expired_request_without_a_waiter():
+    """Deadline shedding is lazy but *self-propelled*: an expired
+    queued request lands its ``"deadline"`` response within a
+    dispatcher beat even when nobody is waiting on the ticket."""
+    import time
+
+    with ExecutionService(workers=1) as svc:
+        blocker = svc.submit(SubmitRequest("nn/euclid",
+                                           RunOptions(scale="small")))
+        doomed = svc.submit(SubmitRequest("gaussian/Fan1", TINY,
+                                          deadline_s=0.05))
+        deadline = time.monotonic() + 10
+        resp = None
+        while resp is None and time.monotonic() < deadline:
+            time.sleep(0.05)
+            resp = svc.result(doomed)  # peek — never wait
+        assert resp is not None and resp.status == "deadline"
+        svc.wait(blocker, timeout=120)
